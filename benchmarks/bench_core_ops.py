@@ -1,0 +1,80 @@
+"""Microbenchmarks of the core memory-manager operations.
+
+Not a paper figure: these measure the *simulator's* own hot paths
+(step(), block extension, reqId churn) so regressions in the library's
+Python performance are caught — the end-to-end experiments run millions
+of these operations.
+"""
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.core.vattention import VAttention
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.paged.block_manager import BlockManager
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def manager():
+    device = Device(A100, reserved_bytes=60 * GB)
+    config = VAttentionConfig(
+        shard=ShardedModel(YI_6B, 1),
+        max_batch_size=32,
+        page_group_size=2 * MB,
+    )
+    return VAttention(device, config)
+
+
+def test_bench_vattention_step_steady_state(benchmark, manager):
+    # Steady state: contexts already fully backed, so step() is pure
+    # bookkeeping — the per-iteration overhead every decode pays.
+    reqs = [manager.alloc_reqid() for _ in range(16)]
+    seq = [0] * 32
+    for req in reqs:
+        seq[req] = 16_384
+    manager.step(seq)
+
+    def one_decode_step():
+        assert manager.step(seq) == 0
+
+    benchmark(one_decode_step)
+
+
+def test_bench_vattention_reqid_churn(benchmark, manager):
+    def churn():
+        req = manager.alloc_reqid()
+        manager.free_reqid(req)
+
+    benchmark(churn)
+
+
+def test_bench_block_manager_extend(benchmark):
+    blocks = BlockManager(ShardedModel(YI_6B, 1), 40 * GB, block_size=16)
+    blocks.allocate("r", 16_384)
+    state = {"ctx": 16_384}
+    # Recycle the request when the pool nears exhaustion so the
+    # benchmark can run an unbounded number of iterations.
+    reset_at = (blocks.num_blocks - 8) * 16
+
+    def extend():
+        state["ctx"] += 16
+        if state["ctx"] >= reset_at:
+            blocks.free("r")
+            blocks.allocate("r", 16_384)
+            state["ctx"] = 16_384 + 16
+        blocks.extend("r", state["ctx"])
+
+    benchmark(extend)
+
+
+def test_bench_block_table_prepare(benchmark):
+    from repro.paged.block_table import block_table_cost
+
+    cost = block_table_cost("vLLM")
+    counts = [1024] * 32
+
+    benchmark(lambda: cost.prepare_seconds(counts))

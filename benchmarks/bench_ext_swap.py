@@ -1,0 +1,17 @@
+"""Ablation bench: swap-to-host vs recompute preemption (S5.3.3)."""
+
+from repro.experiments import ext_swap_policy as driver
+
+
+def test_ext_swap_policy(benchmark):
+    rows = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    print("\nPreemption policy: recompute vs swap")
+    for row in rows:
+        print(f"  ctx={row.prompt_len:>6}: swap speedup {row.speedup:.2f}x "
+              f"({row.recompute_prefills - row.swap_prefills} prefills avoided)")
+    # Swap never recomputes prefills, and its advantage grows with
+    # context length (recompute cost is quadratic, PCIe cost linear).
+    speedups = [row.speedup for row in rows]
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]
+    assert all(row.swap_prefills < row.recompute_prefills for row in rows)

@@ -1,0 +1,25 @@
+"""Ablation bench: the unified-memory strawman vs vAttention (S8.1)."""
+
+from repro.experiments import ext_uvm_limitations as driver
+from repro.units import GB
+
+
+def test_ext_uvm_limitations(benchmark):
+    rows = benchmark.pedantic(
+        lambda: driver.run(request_count=200),
+        rounds=1,
+        iterations=1,
+    )
+    by_backend = {row.backend: row for row in rows}
+    print("\nUVM vs vAttention on a churning chat trace")
+    for row in rows:
+        note = " (died: memory unreclaimable)" if row.died_of_oom else ""
+        print(f"  {row.backend:>10}: {row.finished} finished, committed "
+              f"{row.final_committed / GB:.2f}GB at end{note}")
+    uvm = by_backend["uvm"]
+    vattn = by_backend["vattention"]
+    # vAttention completes the whole trace; UVM strands memory and
+    # either dies or finishes fewer requests on the same budget.
+    assert vattn.finished == 200
+    assert uvm.finished < vattn.finished
+    assert uvm.final_committed >= vattn.final_committed

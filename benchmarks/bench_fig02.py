@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 2 (paged prefill kernel overhead)."""
+
+from repro.experiments import fig02_prefill_kernel_overhead as driver
+
+
+def test_fig02_prefill_kernel_overhead(benchmark):
+    rows = benchmark(driver.run)
+    by_ctx = {r.context_len: r for r in rows}
+    print("\nFigure 2: paged prefill overhead (Llama-3-8B, 1xA100)")
+    for row in rows:
+        print(
+            f"  ctx={row.context_len:>6}: FA2_Paged {row.fa2_overhead:.2f}x, "
+            f"FI_Paged {row.fi_overhead:.2f}x"
+        )
+    # Paper: FA2 overhead rises 1.07x -> 1.37x; FI peaks at 1.42x.
+    assert by_ctx[1_024].fa2_overhead < by_ctx[32_768].fa2_overhead
+    assert max(r.fi_overhead for r in rows) > 1.35

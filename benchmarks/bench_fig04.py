@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 4 (decode throughput & alloc demand)."""
+
+from repro.experiments import fig04_alloc_bandwidth_demand as driver
+
+
+def test_fig04_alloc_bandwidth_demand(benchmark):
+    rows = benchmark(driver.run)
+    print("\nFigure 4: decode throughput and KV allocation rate")
+    for row in rows:
+        print(
+            f"  {row.model:>12} B={row.batch_size:>3}: "
+            f"{row.tokens_per_second:>7.0f} tok/s, "
+            f"{row.alloc_mb_per_second:>6.1f} MB/s"
+        )
+    peak = driver.peak_allocation_rate_mb(rows)
+    print(f"  peak allocation demand: {peak:.0f} MB/s (paper: <= ~750)")
+    # Demand saturates far below what VMM mapping provides (Table 9).
+    assert peak < 1_000

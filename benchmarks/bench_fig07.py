@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 7 (prefill throughput, 4 back-ends)."""
+
+from repro.experiments import fig07_prefill_throughput as driver
+
+
+def test_fig07_prefill_throughput(benchmark):
+    rows = benchmark(driver.run)
+    print("\nFigure 7: prefill throughput (tokens/s)")
+    for row in rows:
+        if row.context_len in (1_024, 16_384, 196_608):
+            cells = " ".join(
+                f"{name}={tput:.0f}" for name, tput in row.throughput.items()
+            )
+            print(f"  {row.model:>12} ctx={row.context_len:>6}: {cells}")
+    # Paper: at 192K, FA2_vAttention outperforms FA2_Paged by ~1.24-1.26x.
+    long_rows = [r for r in rows if r.context_len == 196_608]
+    for row in long_rows:
+        assert 1.15 < row.speedup("FA2_vAttention", "FA2_Paged") < 1.35

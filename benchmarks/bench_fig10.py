@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 10 (online latency CDFs).
+
+One representative cell per model (the paper's full grid is 18 runs);
+reduced to 100 requests. Use ``driver.run()`` for the complete grid.
+"""
+
+from repro.experiments import fig10_online_latency as driver
+from repro.models.zoo import LLAMA3_8B, YI_6B
+
+
+def _run_pair():
+    cells = {}
+    for system in ("FA2_Paged", "FA2_vAttention"):
+        cells[system] = driver.run_one(
+            YI_6B, qps=0.25, system=system, request_count=100
+        )
+    return cells
+
+
+def test_fig10_online_latency(benchmark):
+    cells = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    paged = cells["FA2_Paged"]
+    vattn = cells["FA2_vAttention"]
+    print("\nFigure 10: online request latency (Yi-6B, QPS 0.25)")
+    print(f"  FA2_Paged      median: {paged.median_latency:8.1f}s")
+    print(f"  FA2_vAttention median: {vattn.median_latency:8.1f}s")
+    reduction = 1 - vattn.median_latency / paged.median_latency
+    print(f"  median reduction: {reduction:.0%} (paper: up to 42%)")
+    # vAttention's CDF sits left of the paged baseline.
+    assert vattn.median_latency < paged.median_latency
+    assert reduction > 0.1

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 11 (FA3 portability on H100)."""
+
+from repro.experiments import fig11_fa3_portability as driver
+
+
+def test_fig11_fa3_portability(benchmark):
+    rows = benchmark.pedantic(
+        lambda: driver.run(request_count=60),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 11: offline throughput on H100 (requests/minute)")
+    for row in rows:
+        cells = " ".join(
+            f"{name}={rpm:.2f}" for name, rpm in row.requests_per_minute.items()
+        )
+        print(f"  {row.model:>12}: {cells}")
+        print(
+            f"    FA3 gain: {row.fa3_gain_over_paged():.2f}x over FA2_Paged,"
+            f" {row.fa3_gain_over_vattention():.2f}x over FA2_vAttention"
+        )
+    # Paper: FA3_vAttention is 1.26-1.5x over FA2_Paged.
+    for row in rows:
+        assert 1.2 < row.fa3_gain_over_paged() < 1.7
+        assert row.fa3_gain_over_vattention() > 1.1

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 12 (overlapped allocation ablation)."""
+
+from repro.experiments import fig12_overlap_ablation as driver
+
+
+def test_fig12_overlap_ablation(benchmark):
+    without, with_overlap = benchmark.pedantic(
+        driver.run, rounds=1, iterations=1
+    )
+    print("\nFigure 12: decode latency with/without overlapped allocation")
+    print(
+        f"  without: mean {without.mean_latency * 1e3:.2f}ms, "
+        f"{without.spike_count} spikes, worst "
+        f"{without.max_spike_seconds * 1e3:.2f}ms"
+    )
+    print(
+        f"  with:    mean {with_overlap.mean_latency * 1e3:.2f}ms, "
+        f"{with_overlap.spike_count} spikes"
+    )
+    # Paper: synchronous allocation spikes 5-15ms; overlap removes them.
+    assert without.spike_count > 0
+    assert 2e-3 < without.max_spike_seconds < 20e-3
+    assert with_overlap.spike_count == 0

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 14 (page size vs kernel runtime)."""
+
+from repro.experiments import fig14_page_size_effect as driver
+
+
+def test_fig14_page_size_effect(benchmark):
+    rows = benchmark(driver.run)
+    print("\nFigure 14: kernel runtime ratio (64KB / 2MB pages)")
+    for row in rows:
+        print(f"  {row.phase:>8} point={row.point:>6}: {row.ratio:.2f}x")
+    # Paper: 0.98-1.02x across the board — no TLB thrashing.
+    assert all(0.98 <= row.ratio <= 1.02 for row in rows)

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 15 (max batch size vs page-group size).
+
+Yi-6B only and 400 requests to keep the bench fast; ``driver.run()``
+covers all three models at the full trace length.
+"""
+
+from repro.experiments import fig15_max_batch_size as driver
+from repro.models.zoo import YI_6B
+from repro.units import KB, MB
+
+
+def _sweep():
+    return {
+        size: driver.run_one(YI_6B, size, request_count=400)
+        for size in (2 * MB, 256 * KB, 128 * KB, 64 * KB)
+    }
+
+
+def test_fig15_max_batch_size(benchmark):
+    peaks = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\nFigure 15: max batch by page-group size (Yi-6B, OpenChat)")
+    for size, peak in sorted(peaks.items()):
+        print(f"  {size // 1024:>5}KB: {peak}")
+    gain = peaks[64 * KB] / peaks[2 * MB]
+    print(f"  64KB/2MB gain: {gain:.2f}x (paper: ~1.28x)")
+    # Smaller page-groups monotonically admit larger batches.
+    assert peaks[64 * KB] >= peaks[128 * KB] >= peaks[256 * KB] >= peaks[2 * MB]
+    assert gain > 1.1

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table 3 (VMM API latencies)."""
+
+from repro.experiments import tab03_vmm_latency as driver
+from repro.units import KB, MB
+
+
+def test_tab03_vmm_latency(benchmark):
+    rows = benchmark(driver.run)
+    by_api = {r.api: r.latency_us for r in rows}
+    print("\nTable 3: VMM API latency (us) per page-group size")
+    for row in rows:
+        cells = " ".join(
+            f"{size}:{row.latency_us[size]:.1f}"
+            for size in sorted(row.latency_us)
+        )
+        print(f"  {row.api:>8}: {cells}")
+    assert abs(by_api["map"][2 * MB] - 40.0) < 1e-6  # map + set_access
+    assert abs(by_api["map"][64 * KB] - 8.0) < 1e-6  # vMemMap

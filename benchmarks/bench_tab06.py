@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 6 (prefill completion/attention times)."""
+
+from repro.experiments import tab06_prefill_times as driver
+
+
+def test_tab06_prefill_times(benchmark):
+    rows = benchmark(driver.run)
+    print("\nTable 6: prefill completion (attention) seconds")
+    for row in rows:
+        cells = " ".join(
+            f"{s}={row.completion(s):.1f}({row.attention(s):.1f})"
+            for s in ("FA2_Paged", "FA2_vAttention")
+        )
+        print(f"  {row.model:>12} ctx={row.context_len // 1024}K: {cells}")
+    yi6b_192k = next(
+        r for r in rows if r.model == "Yi-6B" and r.context_len == 196_608
+    )
+    # Paper anchor: 81.5s paged vs 64.6s vAttention.
+    assert abs(yi6b_192k.completion("FA2_Paged") - 81.5) / 81.5 < 0.1
+    assert abs(yi6b_192k.completion("FA2_vAttention") - 64.6) / 64.6 < 0.1

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table 8 (block size vs page-group size & TP)."""
+
+from repro.experiments import tab08_block_sizes as driver
+from repro.units import KB, MB
+
+
+def test_tab08_block_sizes(benchmark):
+    rows = benchmark(driver.run)
+    print("\nTable 8: KV block size (tokens per page-group)")
+    for row in rows:
+        cells = " ".join(
+            f"{size // 1024}KB:{tokens}" if size < MB else f"2MB:{tokens}"
+            for size, tokens in sorted(row.block_size.items())
+        )
+        print(f"  {row.model:>12} TP-{row.tp_degree}: {cells}")
+    by_key = {(r.model, r.tp_degree): r.block_size for r in rows}
+    assert by_key[("Yi-6B", 1)][64 * KB] == 64
+    assert by_key[("Yi-6B", 1)][2 * MB] == 2048
+    assert by_key[("Llama-3-8B", 1)][2 * MB] == 1024

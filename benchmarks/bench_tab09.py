@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table 9 (physical allocation bandwidth)."""
+
+from repro.experiments import tab09_alloc_bandwidth as driver
+from repro.units import KB, MB
+
+
+def test_tab09_alloc_bandwidth(benchmark):
+    rows = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    print("\nTable 9: allocation bandwidth (GB/s)")
+    for row in rows:
+        cells = " ".join(
+            f"{size // 1024}KB:{bw:.2f}" if size < MB else f"2MB:{bw:.2f}"
+            for size, bw in sorted(row.gb_per_second.items())
+        )
+        print(f"  TP-{row.tp_degree}: {cells}")
+    tp1 = next(r for r in rows if r.tp_degree == 1).gb_per_second
+    tp2 = next(r for r in rows if r.tp_degree == 2).gb_per_second
+    # Orders of magnitude above Figure 4's ~750MB/s demand, scaling
+    # monotonically with page-group size and linearly with TP degree.
+    assert tp1[64 * KB] > 5.0
+    assert tp1[2 * MB] > tp1[64 * KB]
+    assert abs(tp2[64 * KB] - 2 * tp1[64 * KB]) < 1e-9

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table 10 (tensor-slicing block sizes)."""
+
+from repro.experiments import tab10_tensor_slicing as driver
+
+
+def test_tab10_tensor_slicing(benchmark):
+    rows = benchmark(driver.run)
+    print("\nTable 10: block size with/without tensor slicing (2MB pages)")
+    for row in rows:
+        print(
+            f"  {row.model:>12} TP-{row.tp_degree}: "
+            f"{row.without_slicing} -> {row.with_slicing} tokens"
+        )
+    by_key = {(r.model, r.tp_degree): r for r in rows}
+    assert by_key[("Yi-6B", 1)].with_slicing == 64
+    assert by_key[("Llama-3-8B", 1)].with_slicing == 32
+    # Slicing shrinks the block by the layer count N.
+    for row in rows:
+        n_layers = 32 if "8B" in row.model or "6B" in row.model else 60
+        assert row.without_slicing // row.with_slicing in (
+            n_layers, n_layers + 1, n_layers + 2
+        )

@@ -1,0 +1,61 @@
+"""repro — reproduction of vAttention (ASPLOS 2025).
+
+vAttention is a dynamic KV-cache memory manager for LLM serving that
+keeps the cache contiguous in virtual memory while allocating physical
+memory on demand via CUDA VMM APIs, avoiding PagedAttention's rewritten
+kernels, user-space Block-Tables, and runtime overheads.
+
+This package implements the full system on a simulated GPU substrate:
+
+* :mod:`repro.gpu` — device, physical/virtual memory, CUDA VMM + the
+  paper's extended small-page driver (Table 3 latency model),
+* :mod:`repro.models` — model configs and tensor-parallel sharding,
+* :mod:`repro.kernels` — calibrated latency models of FlashAttention-2,
+  FlashInfer, vLLM-paged and FlashAttention-3 kernels,
+* :mod:`repro.paged` — the PagedAttention baseline (block pool,
+  Block-Table costs),
+* :mod:`repro.core` — vAttention itself (Table 4 API, background
+  allocation, deferred reclamation, tensor slicing),
+* :mod:`repro.serving` — the continuous-batching engine (Algorithm 1),
+* :mod:`repro.workloads` / :mod:`repro.metrics` — traces and metrics,
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import paper_engine
+    from repro.workloads import fixed_trace
+
+    engine = paper_engine("FA2_vAttention", "Yi-6B")
+    engine.submit(fixed_trace(count=8, prompt_len=16384, max_new_tokens=64))
+    report = engine.run()
+    print(report.metrics.decode_throughput(), "tokens/s")
+"""
+
+from .core import VAttention, VAttentionConfig
+from .errors import ReproError
+from .experiments.common import PAPER_CONFIGS, paper_engine
+from .gpu import A100, H100, Device
+from .models import LLAMA3_8B, YI_34B, YI_6B, ShardedModel, paper_deployment
+from .serving import EngineConfig, LLMEngine, Request
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "Device",
+    "EngineConfig",
+    "H100",
+    "LLAMA3_8B",
+    "LLMEngine",
+    "PAPER_CONFIGS",
+    "ReproError",
+    "Request",
+    "ShardedModel",
+    "VAttention",
+    "VAttentionConfig",
+    "YI_34B",
+    "YI_6B",
+    "paper_deployment",
+    "paper_engine",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig02 fig03 tab08
+    python -m repro run all
+    python -m repro run fig09 -- small    # reduced-scale engine runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List
+
+#: Experiment name -> (module, one-line description, heavy?).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig02": ("fig02_prefill_kernel_overhead", "paged prefill kernel overhead", False),
+    "fig03": ("fig03_block_size_sensitivity", "vLLM kernel vs block size", False),
+    "fig04": ("fig04_alloc_bandwidth_demand", "decode throughput & alloc demand", False),
+    "tab03": ("tab03_vmm_latency", "VMM API latencies", False),
+    "fig07": ("fig07_prefill_throughput", "prefill throughput, 4 back-ends", False),
+    "tab06": ("tab06_prefill_times", "prefill completion/attention times", False),
+    "fig08": ("fig08_decode_throughput", "decode throughput (engine)", True),
+    "tab07": ("tab07_decode_kernel_latency", "decode kernel latencies", False),
+    "fig09": ("fig09_offline_throughput", "offline end-to-end throughput", True),
+    "fig10": ("fig10_online_latency", "online latency CDFs", True),
+    "fig11": ("fig11_fa3_portability", "FA3 portability on H100", True),
+    "fig12": ("fig12_overlap_ablation", "overlapped allocation ablation", False),
+    "fig13": ("fig13_deferred_reclamation", "deferred reclamation ablation", False),
+    "fig14": ("fig14_page_size_effect", "page size vs kernel runtime", False),
+    "fig15": ("fig15_max_batch_size", "max batch vs page-group size", True),
+    "tab08": ("tab08_block_sizes", "block sizes per page-group & TP", False),
+    "tab09": ("tab09_alloc_bandwidth", "allocation bandwidth", False),
+    "tab10": ("tab10_tensor_slicing", "tensor-slicing block sizes", False),
+    "ext-sharing": ("ext_prefix_sharing", "extension: prefix KV dedup", False),
+    "ext-swap": ("ext_swap_policy", "extension: swap vs recompute", False),
+    "ext-uvm": ("ext_uvm_limitations", "extension: unified-memory strawman", True),
+    "ext-chunked": ("ext_chunked_prefill", "extension: chunked prefill stalls", False),
+}
+
+
+def list_experiments() -> None:
+    """Print the experiment catalogue."""
+    print("available experiments (python -m repro run <name> ...):\n")
+    for name, (_, description, heavy) in EXPERIMENTS.items():
+        marker = " [long-running]" if heavy else ""
+        print(f"  {name:<12} {description}{marker}")
+
+
+def run_experiments(names: List[str]) -> int:
+    """Run the named experiments' ``main()`` printers."""
+    selected = list(EXPERIMENTS) if names == ["all"] else names
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'python -m repro list' to see the catalogue", file=sys.stderr)
+        return 2
+    for name in selected:
+        module_name, _, _ = EXPERIMENTS[name]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        print(f"\n=== {name} ({module_name}) " + "=" * 30)
+        module.main()
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI dispatcher."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the vAttention (ASPLOS 2025) evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    runner = subparsers.add_parser("run", help="run experiments by name")
+    runner.add_argument("names", nargs="+", help="experiment names or 'all'")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        list_experiments()
+        return 0
+    return run_experiments(args.names)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

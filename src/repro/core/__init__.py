@@ -1,0 +1,31 @@
+"""vAttention core: the paper's primary contribution."""
+
+from .background import BackgroundWorker
+from .config import VAttentionConfig
+from .sharing import PrefixShareResult, tokens_shareable
+from .slicing import (
+    block_size_tokens,
+    fragmentation_reduction_factor,
+    sliced_config,
+    supports_tensor_slicing,
+    table10_row,
+)
+from .vattention import RequestSlot, VAttention, VAttentionStats
+from .virtual_tensor import VirtualKvTensor, build_kv_tensors
+
+__all__ = [
+    "BackgroundWorker",
+    "PrefixShareResult",
+    "RequestSlot",
+    "tokens_shareable",
+    "VAttention",
+    "VAttentionConfig",
+    "VAttentionStats",
+    "VirtualKvTensor",
+    "block_size_tokens",
+    "build_kv_tensors",
+    "fragmentation_reduction_factor",
+    "sliced_config",
+    "supports_tensor_slicing",
+    "table10_row",
+]

@@ -1,0 +1,58 @@
+"""KV-cache de-duplication via physical page aliasing (paper S8.1).
+
+The paper's discussion of unified memory notes that ``cudaMallocManaged``
+"lacks support for memory aliasing which prevents de-duplication of KV
+cache content in physical memory (de-duplication is useful when requests
+share a common prefix)". The CUDA VMM route vAttention takes *does*
+support aliasing: the same physical handle can be mapped at multiple
+virtual offsets. This module implements that capability on top of the
+row-based manager:
+
+* :meth:`repro.core.vattention.VAttention.share_prefix` maps the fully
+  filled page-group rows of a resident request's prefix into a new
+  request's sub-tensors — no physical allocation, no recompute; both
+  requests read the same physical KV bytes through their own contiguous
+  virtual views.
+* The partially filled tail of the prefix cannot be aliased (the new
+  request appends into that page-group), so it is copied into a fresh
+  row — the copy-on-write boundary.
+* Rows are reference-counted; a shared row returns to the free pool
+  only when its last user releases it, and shared rows are never left
+  in the deferred-reclamation cache (a successor would overwrite them).
+
+Because KV caches are append-only, fully filled prefix rows are
+immutable, which is what makes aliasing safe without page protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrefixShareResult:
+    """Outcome of one ``share_prefix`` call."""
+
+    src_req_id: int
+    dst_req_id: int
+    prefix_tokens: int
+    #: Fully-filled page-group rows aliased (zero new physical memory).
+    shared_rows: int
+    #: Prefix tokens in the partial tail row, copied (copy-on-write).
+    copied_tokens: int
+    #: Physical bytes saved versus recomputing/copying the whole prefix.
+    saved_bytes: int
+    #: Critical-path seconds spent (alias mappings + tail copy).
+    latency_seconds: float
+
+    @property
+    def fully_aliased(self) -> bool:
+        """Whether the whole prefix landed on page-group boundaries."""
+        return self.copied_tokens == 0
+
+
+def tokens_shareable(prefix_tokens: int, tokens_per_page_group: int) -> int:
+    """Prefix tokens coverable by aliasing (full page-groups only)."""
+    if prefix_tokens < 0:
+        raise ValueError(f"negative prefix: {prefix_tokens}")
+    return (prefix_tokens // tokens_per_page_group) * tokens_per_page_group

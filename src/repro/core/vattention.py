@@ -1,0 +1,648 @@
+"""The vAttention memory manager (paper Table 4 / Algorithm 1 / S5-S6).
+
+The manager exposes the paper's four-call API to a serving framework:
+
+* :meth:`VAttention.alloc_reqid` — claim a request slot,
+* :meth:`VAttention.free_reqid` — release it,
+* :meth:`VAttention.step` — ensure every active request's KV sub-tensors
+  are physically backed up to its current context length,
+* plus :meth:`VAttention.on_iteration_end`, the hook through which the
+  background allocation thread observes compute windows (S6.1.1).
+
+Layout model
+------------
+At initialization the manager reserves ``n_tensors`` contiguous virtual
+buffers (2N per worker, or 2 with tensor slicing), each of ``B x S``
+bytes; request ``reqId`` owns the sub-tensor ``[reqId*S, (reqId+1)*S)``
+of every buffer (S5.1). Because all tensors of a request grow in
+lock-step, physical memory is managed in *rows*: one row = the same
+page-group index in every tensor (``n_tensors`` page-groups, allocated
+and mapped together). All latency accounting is per page-group API call,
+so e.g. extending one request by one row for Yi-34B costs 120 mapping
+calls, ~5ms synchronous — the paper's S6.1 example.
+
+Physical page-groups are pre-created at initialization (the paper
+pre-allocates physical pages at startup and only maps them at runtime),
+so runtime cost is mapping (``cuMemMap``+``cuMemSetAccess`` at 2MB,
+``vMemMap`` for small page-groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AllocationFailed, ConfigError, SchedulingError
+from ..gpu.device import Device
+from ..gpu.phys import PhysicalHandle
+from ..gpu.virtual import Reservation
+from ..gpu.vmm import api_latency
+from ..units import MB
+from .background import BackgroundWorker
+from .config import VAttentionConfig
+from .sharing import PrefixShareResult
+
+
+@dataclass
+class RequestSlot:
+    """State of one ``reqId``: its rows stay attached while inactive
+    (deferred reclamation) so the next request can reuse them."""
+
+    req_id: int
+    active: bool = False
+    context_len: int = 0
+    rows: List[PhysicalHandle] = field(default_factory=list)
+    last_used: float = 0.0
+    #: Leading rows aliased from another request's prefix (S8.1 dedup).
+    shared_rows: int = 0
+
+    @property
+    def mapped_rows(self) -> int:
+        """Page-group rows currently mapped into this slot."""
+        return len(self.rows)
+
+
+@dataclass
+class VAttentionStats:
+    """Counters for the ablation experiments."""
+
+    map_calls: int = 0
+    unmap_calls: int = 0
+    sync_alloc_seconds: float = 0.0
+    last_step_sync_seconds: float = 0.0
+    steps: int = 0
+    step_failures: int = 0
+    reqids_reused_with_memory: int = 0
+    rows_mapped: int = 0
+    rows_unmapped: int = 0
+    prefix_shares: int = 0
+    rows_aliased: int = 0
+    copy_seconds: float = 0.0
+
+
+class VAttention:
+    """One worker's vAttention instance."""
+
+    def __init__(self, device: Device, config: VAttentionConfig) -> None:
+        self.device = device
+        self.config = config
+        self.clock = device.clock
+        self.background = BackgroundWorker()
+        self.stats = VAttentionStats()
+
+        pg = config.page_group_size
+        # Runtime per-page-group mapping latency. Page-groups are
+        # pre-created, so creation cost is paid at init, not here.
+        self._map_pg_latency = api_latency("map", pg)
+        if pg == 2 * MB:
+            self._map_pg_latency += api_latency("set_access", pg)
+            self._unmap_pg_latency = api_latency("unmap", pg)
+        else:
+            # vMemRelease combines unmap+release; unmapping into the
+            # handle cache costs the release-path latency.
+            self._unmap_pg_latency = api_latency("release", pg)
+        self._map_row_latency = config.n_tensors * self._map_pg_latency
+        self._unmap_row_latency = config.n_tensors * self._unmap_pg_latency
+
+        # --- Virtual memory: reserve the 2N (or 2) buffers for the
+        # lifetime of the serving application (S5.3.1).
+        self.buffers: List[Reservation] = []
+        reserve_latency = api_latency("reserve", pg) * config.n_tensors
+        self.clock.advance(reserve_latency)
+        for _ in range(config.n_tensors):
+            self.buffers.append(
+                device.va_space.reserve(config.buffer_bytes, alignment=pg)
+            )
+
+        # --- Physical memory: pre-create page-group rows.
+        max_useful_rows = config.max_batch_size * config.rows_per_full_request
+        fits = device.pool.available // config.row_bytes
+        self.total_rows = min(fits, max_useful_rows)
+        if self.total_rows <= 0:
+            raise ConfigError(
+                "KV budget cannot hold a single page-group row "
+                f"(row={config.row_bytes} bytes, "
+                f"available={device.pool.available})"
+            )
+        create_latency = (
+            api_latency("create", pg) * config.n_tensors * self.total_rows
+        )
+        self.clock.advance(create_latency)
+        self._free_rows: List[PhysicalHandle] = [
+            device.pool.allocate(config.row_bytes) for _ in range(self.total_rows)
+        ]
+        #: Reference counts of rows mapped into slots (>1 = aliased).
+        self._row_refs: Dict[int, int] = {}
+
+        self.slots: List[RequestSlot] = [
+            RequestSlot(req_id=i) for i in range(config.max_batch_size)
+        ]
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def free_rows(self) -> int:
+        """Rows neither mapped to any slot nor pending."""
+        return len(self._free_rows)
+
+    @property
+    def cached_rows(self) -> int:
+        """Rows mapped into *inactive* slots (deferred reclamation cache)."""
+        return sum(s.mapped_rows for s in self.slots if not s.active)
+
+    @property
+    def active_rows(self) -> int:
+        """Rows mapped into active slots."""
+        return sum(s.mapped_rows for s in self.slots if s.active)
+
+    @property
+    def excess_active_rows(self) -> int:
+        """Rows mapped into active slots beyond their near-term need.
+
+        A request that inherited a longer predecessor's pages (deferred
+        reclamation) may hold rows past its context; those are provably
+        unused and reclaimable under pressure.
+        """
+        total = 0
+        for slot in self.slots:
+            if slot.active:
+                needed = self.rows_for_context(slot.context_len + 1)
+                total += max(0, slot.mapped_rows - needed)
+        return total
+
+    @property
+    def available_rows(self) -> int:
+        """Rows obtainable without disturbing any request's live KV state."""
+        return self.free_rows + self.cached_rows + self.excess_active_rows
+
+    def rows_for_context(self, context_len: int) -> int:
+        """Rows needed to back ``context_len`` tokens (delegates to config)."""
+        return self.config.rows_for_context(context_len)
+
+    # ------------------------------------------------------------------
+    # Admission queries (used by the serving scheduler)
+    # ------------------------------------------------------------------
+    def has_free_reqid(self) -> bool:
+        """Whether any slot is inactive."""
+        return any(not s.active for s in self.slots)
+
+    def can_allocate(self, prompt_len: int) -> bool:
+        """Whether a new request with ``prompt_len`` tokens is admissible.
+
+        The candidate slot's own cached rows satisfy part of the demand;
+        the rest must come from free rows or other inactive slots.
+        """
+        if prompt_len > self.config.shard.max_context:
+            return False
+        if not self.has_free_reqid():
+            return False
+        return self.rows_for_context(prompt_len) <= self.available_rows
+
+    def can_grow(self, additional_rows: int = 1) -> bool:
+        """Whether ``additional_rows`` more rows could be produced."""
+        return additional_rows <= self.available_rows
+
+    # ------------------------------------------------------------------
+    # Table 4 API
+    # ------------------------------------------------------------------
+    def alloc_reqid(self) -> int:
+        """Claim an unused ``reqId`` (S5.3.2).
+
+        With deferred reclamation the inactive slot with the most cached
+        rows is preferred, so a new request inherits a completed
+        request's physical pages (Figure 5(e)).
+        """
+        self._check_live()
+        candidates = [s for s in self.slots if not s.active]
+        if not candidates:
+            raise SchedulingError(
+                f"all {self.config.max_batch_size} reqIds are active"
+            )
+        slot = max(candidates, key=lambda s: (s.mapped_rows, -s.req_id))
+        slot.active = True
+        slot.context_len = 0
+        slot.last_used = self.clock.now
+        if slot.mapped_rows:
+            self.stats.reqids_reused_with_memory += 1
+        if self.config.eager_allocation:
+            self._eager_prepare_next()
+        return slot.req_id
+
+    def free_reqid(self, req_id: int) -> None:
+        """Release a ``reqId`` (S5.3.4).
+
+        With deferred reclamation the slot keeps its mapped rows for the
+        next arrival; otherwise they are unmapped synchronously.
+        """
+        self._check_live()
+        slot = self._slot(req_id)
+        if not slot.active:
+            raise SchedulingError(f"reqId {req_id} is not active")
+        slot.active = False
+        slot.context_len = 0
+        slot.last_used = self.clock.now
+        if not self.config.deferred_reclamation or self._holds_aliases(slot):
+            # Deferred reclamation keeps rows mapped for the next
+            # arrival — but never rows involved in prefix sharing: a
+            # successor writing into them would corrupt the other
+            # request's KV cache, so those are released immediately.
+            self._unmap_rows(slot, slot.mapped_rows, background=False)
+            slot.shared_rows = 0
+
+    def share_prefix(
+        self, src_req_id: int, dst_req_id: int, prefix_tokens: int
+    ) -> PrefixShareResult:
+        """De-duplicate a shared prompt prefix via page aliasing (S8.1).
+
+        Maps the fully filled page-group rows of ``src``'s first
+        ``prefix_tokens`` tokens into ``dst``'s sub-tensors — the two
+        requests then read the same physical KV bytes through their own
+        contiguous virtual views. The partial tail page-group (which
+        ``dst`` will append into) is copied instead (copy-on-write
+        boundary). Must be called on a fresh ``dst`` before its first
+        ``step``; afterwards ``step`` only backs the non-prefix suffix.
+        """
+        self._check_live()
+        src = self._slot(src_req_id)
+        dst = self._slot(dst_req_id)
+        if not src.active or not dst.active:
+            raise SchedulingError("both reqIds must be active to share")
+        if src_req_id == dst_req_id:
+            raise SchedulingError("cannot share a prefix with itself")
+        if prefix_tokens <= 0 or prefix_tokens > src.context_len:
+            raise SchedulingError(
+                f"prefix of {prefix_tokens} tokens not resident in "
+                f"reqId {src_req_id} (context {src.context_len})"
+            )
+        if dst.context_len != 0:
+            raise SchedulingError(
+                f"reqId {dst_req_id} already has context; share before step"
+            )
+        # Drop any inherited cache so row indices align with the prefix.
+        if dst.mapped_rows:
+            self._unmap_rows(dst, dst.mapped_rows, background=False)
+
+        tokens_per_row = self.config.tokens_per_page_group
+        full_rows = prefix_tokens // tokens_per_row
+        latency = 0.0
+        for index in range(full_rows):
+            handle = src.rows[index]
+            dst.rows.append(handle)
+            self._row_refs[handle.handle_id] = (
+                self._row_refs.get(handle.handle_id, 1) + 1
+            )
+            latency += self._map_row_latency
+            self.stats.map_calls += self.config.n_tensors
+            self.stats.rows_aliased += 1
+        copied_tokens = prefix_tokens - full_rows * tokens_per_row
+        copy_seconds = 0.0
+        if copied_tokens:
+            latency += self._map_rows(dst, 1, background=False, charge=False)
+            copied_bytes = (
+                copied_tokens
+                * self.config.bytes_per_token_per_tensor
+                * self.config.n_tensors
+            )
+            # Device-to-device copy: read + write through HBM.
+            copy_seconds = 2.0 * copied_bytes / self.device.spec.hbm_bandwidth
+            self.stats.copy_seconds += copy_seconds
+        dst.shared_rows = full_rows
+        self.stats.prefix_shares += 1
+        self._charge_sync(latency + copy_seconds)
+        return PrefixShareResult(
+            src_req_id=src_req_id,
+            dst_req_id=dst_req_id,
+            prefix_tokens=prefix_tokens,
+            shared_rows=full_rows,
+            copied_tokens=copied_tokens,
+            saved_bytes=full_rows * self.config.row_bytes,
+            latency_seconds=latency + copy_seconds,
+        )
+
+    def step(self, seq_lens: Sequence[int]) -> int:
+        """Back every active request up to its context length (S5.3.3).
+
+        ``seq_lens[reqId]`` is the request's current context length, 0
+        for inactive reqIds. Returns 0 on success; -1 if physical memory
+        is exhausted, in which case the framework should preempt
+        (nothing is partially applied on failure beyond reclaimed cache).
+        """
+        self._check_live()
+        if len(seq_lens) != self.config.max_batch_size:
+            raise SchedulingError(
+                f"seq_lens has {len(seq_lens)} entries, expected "
+                f"{self.config.max_batch_size}"
+            )
+        self.stats.steps += 1
+        sync_seconds = 0.0
+
+        # Critical background work (mappings predicted for *this*
+        # iteration) must complete before the first kernel is
+        # dispatched; any residual spills onto the critical path.
+        # Opportunistic work (eager allocation, reclamation) is not
+        # forced — it continues in later compute windows.
+        sync_seconds += self.background.flush_critical()
+
+        # Compute and satisfy demand.
+        demands: List[tuple[RequestSlot, int]] = []
+        total_needed = 0
+        for req_id, ctx in enumerate(seq_lens):
+            if ctx == 0:
+                continue
+            slot = self.slots[req_id]
+            if not slot.active:
+                raise SchedulingError(
+                    f"seq_lens[{req_id}]={ctx} but reqId {req_id} is inactive"
+                )
+            if ctx > self.config.shard.max_context:
+                raise SchedulingError(
+                    f"context {ctx} exceeds model maximum "
+                    f"{self.config.shard.max_context}"
+                )
+            if ctx < slot.context_len:
+                raise SchedulingError(
+                    f"reqId {req_id}: context cannot shrink "
+                    f"({slot.context_len} -> {ctx})"
+                )
+            needed = self.rows_for_context(ctx) - slot.mapped_rows
+            if needed > 0:
+                demands.append((slot, needed))
+                total_needed += needed
+
+        if total_needed > self.available_rows:
+            self.stats.step_failures += 1
+            # Charge what was already forced synchronous.
+            self._charge_sync(sync_seconds)
+            return -1
+
+        for slot, needed in demands:
+            sync_seconds += self._map_rows(slot, needed, background=False,
+                                           charge=False)
+        for req_id, ctx in enumerate(seq_lens):
+            if ctx > 0:
+                slot = self.slots[req_id]
+                slot.context_len = ctx
+                slot.last_used = self.clock.now
+
+        self._charge_sync(sync_seconds)
+        self.stats.last_step_sync_seconds = sync_seconds
+        return 0
+
+    def on_iteration_end(self, iteration_seconds: float) -> None:
+        """Observe one compute window; run the background thread (S6.1).
+
+        The paper's background thread starts working when ``step`` of
+        iteration *i* returns and runs concurrently with iteration *i*'s
+        compute, preparing iteration *i+1*'s mappings. Equivalently in
+        simulation: queue the predictable work (decode growth one token
+        ahead, Observation-1), plus the opportunistic work (eager
+        allocation, threshold reclamation), and then overlap the queue
+        with the just-finished compute window.
+        """
+        self._check_live()
+        if self.config.overlap_allocation:
+            for slot in self.slots:
+                if not slot.active or slot.context_len == 0:
+                    continue
+                needed = (
+                    self.rows_for_context(slot.context_len + 1)
+                    - slot.mapped_rows
+                )
+                if needed > 0 and needed <= self.free_rows:
+                    self._map_rows(slot, needed, background=True)
+        if self.config.eager_allocation:
+            self._eager_prepare_next()
+        if self.config.deferred_reclamation:
+            self._maintain_free_threshold()
+        if self.config.overlap_allocation:
+            self.background.run_for(iteration_seconds)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (fragmentation experiments)
+    # ------------------------------------------------------------------
+    @property
+    def mapped_bytes(self) -> int:
+        """Virtually mapped bytes across KV tensors (active + cached).
+
+        Aliased rows count once per mapping; see
+        :attr:`physical_bytes_in_use` for unique physical memory.
+        """
+        rows = sum(s.mapped_rows for s in self.slots)
+        return rows * self.config.row_bytes
+
+    @property
+    def physical_rows_in_use(self) -> int:
+        """Unique physical rows currently mapped somewhere."""
+        return self.total_rows - self.free_rows
+
+    @property
+    def physical_bytes_in_use(self) -> int:
+        """Unique physical bytes currently mapped somewhere."""
+        return self.physical_rows_in_use * self.config.row_bytes
+
+    @property
+    def dedup_saved_bytes(self) -> int:
+        """Physical bytes saved by prefix sharing right now."""
+        extra_refs = sum(count - 1 for count in self._row_refs.values())
+        return extra_refs * self.config.row_bytes
+
+    def _holds_aliases(self, slot: RequestSlot) -> bool:
+        """Whether any of the slot's rows is shared with another slot."""
+        if slot.shared_rows:
+            return True
+        return any(
+            self._row_refs.get(handle.handle_id, 1) > 1
+            for handle in slot.rows
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes actually occupied by live KV entries."""
+        per_token = self.config.bytes_per_token_per_tensor * self.config.n_tensors
+        return sum(s.context_len for s in self.slots if s.active) * per_token
+
+    @property
+    def internal_fragmentation_bytes(self) -> int:
+        """Mapped-but-unused bytes within *active* requests' rows."""
+        per_token = self.config.bytes_per_token_per_tensor * self.config.n_tensors
+        waste = 0
+        for slot in self.slots:
+            if slot.active:
+                waste += (
+                    slot.mapped_rows * self.config.row_bytes
+                    - slot.context_len * per_token
+                )
+        return waste
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _slot(self, req_id: int) -> RequestSlot:
+        if not 0 <= req_id < len(self.slots):
+            raise SchedulingError(f"reqId {req_id} out of range")
+        return self.slots[req_id]
+
+    def _check_live(self) -> None:
+        if self._shutdown:
+            raise SchedulingError("vAttention instance has been shut down")
+
+    def _charge_sync(self, seconds: float) -> None:
+        if seconds > 0:
+            self.stats.sync_alloc_seconds += seconds
+            self.clock.advance(seconds)
+
+    def _map_rows(
+        self,
+        slot: RequestSlot,
+        count: int,
+        background: bool,
+        charge: bool = True,
+        critical: bool = True,
+    ) -> float:
+        """Move ``count`` rows into ``slot``; returns sync latency incurred.
+
+        Free rows are taken first; if they run out, rows are reclaimed
+        from inactive slots (unmap cost included). State changes are
+        immediate; latency goes to the background worker or (if
+        ``charge``) to the clock — callers doing their own batching pass
+        ``charge=False`` and advance the clock once.
+        """
+        latency = 0.0
+        for _ in range(count):
+            if not self._free_rows:
+                latency += self._reclaim_one_row()
+            handle = self._free_rows.pop()
+            slot.rows.append(handle)
+            self._row_refs[handle.handle_id] = 1
+            latency += self._map_row_latency
+            self.stats.map_calls += self.config.n_tensors
+            self.stats.rows_mapped += 1
+        if background:
+            self.background.submit(latency, critical=critical)
+            return 0.0
+        if charge:
+            self._charge_sync(latency)
+        return latency
+
+    def _detach_row(self, slot: RequestSlot) -> bool:
+        """Unmap the slot's top row; True if its handle became free.
+
+        Aliased rows (refcount > 1) only drop a reference — the physical
+        page-group stays live for the other request(s) sharing it.
+        """
+        handle = slot.rows.pop()
+        if slot.shared_rows > slot.mapped_rows:
+            slot.shared_rows = slot.mapped_rows
+        self.stats.unmap_calls += self.config.n_tensors
+        self.stats.rows_unmapped += 1
+        remaining = self._row_refs.get(handle.handle_id, 1) - 1
+        if remaining <= 0:
+            self._row_refs.pop(handle.handle_id, None)
+            self._free_rows.append(handle)
+            return True
+        self._row_refs[handle.handle_id] = remaining
+        return False
+
+    def _unmap_rows(
+        self, slot: RequestSlot, count: int, background: bool
+    ) -> None:
+        """Release ``count`` rows from ``slot`` (top-down)."""
+        count = min(count, slot.mapped_rows)
+        latency = 0.0
+        for _ in range(count):
+            self._detach_row(slot)
+            latency += self._unmap_row_latency
+        if background:
+            self.background.submit(latency, critical=False)
+        else:
+            self._charge_sync(latency)
+
+    def _reclaim_one_row(self) -> float:
+        """Unmap rows until one physical row frees; returns the latency.
+
+        Inactive slots are drained first (their pages back no live
+        request); under further pressure, excess rows of active slots
+        (beyond context + one lookahead row) are trimmed. Detaching an
+        aliased row may not free a handle, so this loops until one does.
+        """
+        latency = 0.0
+        while True:
+            victims = [s for s in self.slots if not s.active and s.mapped_rows]
+            victim = min(victims, key=lambda s: s.last_used) if victims else None
+            if victim is None:
+                for slot in self.slots:
+                    if not slot.active:
+                        continue
+                    needed = self.rows_for_context(slot.context_len + 1)
+                    if slot.mapped_rows > needed:
+                        victim = slot
+                        break
+            if victim is None:
+                raise AllocationFailed("no free or reclaimable rows")
+            freed = self._detach_row(victim)
+            latency += self._unmap_row_latency
+            if freed:
+                return latency
+
+    def _eager_prepare_next(self) -> None:
+        """Pre-map a few rows for the next reqId to be handed out (S6.1.2)."""
+        candidates = [s for s in self.slots if not s.active]
+        if not candidates:
+            return
+        target = max(candidates, key=lambda s: (s.mapped_rows, -s.req_id))
+        deficit = self.config.eager_page_groups - target.mapped_rows
+        deficit = min(deficit, self.free_rows)
+        if deficit > 0:
+            self._map_rows(target, deficit, background=True, critical=False)
+
+    def _maintain_free_threshold(self) -> None:
+        """Keep the free-row fraction above the reclamation threshold."""
+        minimum_free = int(self.total_rows * self.config.reclamation_threshold)
+        shortfall = minimum_free - self.free_rows
+        if shortfall <= 0:
+            return
+        victims = sorted(
+            (s for s in self.slots if not s.active and s.mapped_rows),
+            key=lambda s: s.last_used,
+        )
+        for victim in victims:
+            if shortfall <= 0:
+                break
+            take = min(victim.mapped_rows, shortfall)
+            self._unmap_rows(victim, take, background=True)
+            shortfall -= take
+        if shortfall <= 0:
+            return
+        # Still short: trim active slots' rows beyond context + lookahead.
+        for slot in self.slots:
+            if shortfall <= 0:
+                break
+            if not slot.active:
+                continue
+            needed = self.rows_for_context(slot.context_len + 1)
+            excess = slot.mapped_rows - needed
+            if excess > 0:
+                take = min(excess, shortfall)
+                self._unmap_rows(slot, take, background=True)
+                shortfall -= take
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release all physical rows and virtual buffers."""
+        if self._shutdown:
+            return
+        for slot in self.slots:
+            while slot.rows:
+                self._detach_row(slot)
+            slot.active = False
+            slot.context_len = 0
+            slot.shared_rows = 0
+        for handle in self._free_rows:
+            self.device.pool.release(handle)
+        self._free_rows.clear()
+        for buffer in self.buffers:
+            self.device.va_space.free(buffer)
+        self.buffers.clear()
+        self._shutdown = True

@@ -1,0 +1,155 @@
+"""Exact, fully-materialized virtual KV tensor (validation implementation).
+
+:class:`repro.core.vattention.VAttention` manages page-groups in
+*rows* — it exploits the fact that all ``2N`` tensors grow in lock-step
+and keeps one count per request instead of materializing millions of
+identical mappings. This module provides the exact counterpart: a
+:class:`VirtualKvTensor` is ONE of the ``2N`` buffers, backed by a real
+:class:`~repro.gpu.virtual.Reservation` with every page-group mapping
+materialized through the extended driver.
+
+It exists for three purposes:
+
+* property tests cross-validate VAttention's row accounting against this
+  exact implementation on small configurations,
+* unmapped-access faults are actually detectable (``check_access``),
+* the quickstart example can show the real VMM call sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError, SchedulingError
+from ..gpu.device import Device
+from ..gpu.driver import ExtendedDriver
+from ..gpu.virtual import Reservation
+from ..units import ceil_div
+from .config import VAttentionConfig
+
+
+class VirtualKvTensor:
+    """One per-layer K (or V) virtual buffer with per-request sub-tensors.
+
+    Parameters
+    ----------
+    device:
+        Simulated GPU providing the VA space and physical pool.
+    config:
+        Layout parameters (stride ``S``, page-group size, batch ``B``).
+    """
+
+    def __init__(self, device: Device, config: VAttentionConfig) -> None:
+        self.device = device
+        self.config = config
+        self.driver: ExtendedDriver = device.driver(config.page_group_size)
+        self.reservation: Reservation = self.driver.v_mem_reserve(
+            config.buffer_bytes
+        )
+        #: Page-groups mapped per request, in ascending offset order.
+        self._mapped: Dict[int, int] = {
+            req_id: 0 for req_id in range(config.max_batch_size)
+        }
+
+    # ------------------------------------------------------------------
+    def request_base(self, req_id: int) -> int:
+        """Byte offset of ``req_id``'s sub-tensor: ``reqId * S`` (S5.2.3)."""
+        self._check_reqid(req_id)
+        return req_id * self.config.request_stride
+
+    def mapped_page_groups(self, req_id: int) -> int:
+        """Page-groups currently backing ``req_id``'s sub-tensor."""
+        self._check_reqid(req_id)
+        return self._mapped[req_id]
+
+    def mapped_bytes(self, req_id: int) -> int:
+        """Backed bytes of ``req_id``'s sub-tensor."""
+        return self.mapped_page_groups(req_id) * self.config.page_group_size
+
+    def page_groups_for(self, nbytes: int) -> int:
+        """Page-groups needed to back the first ``nbytes`` of a sub-tensor."""
+        return ceil_div(max(nbytes, 0), self.config.page_group_size)
+
+    # ------------------------------------------------------------------
+    def grow(self, req_id: int, target_bytes: int) -> int:
+        """Map page-groups until ``target_bytes`` are backed.
+
+        Returns the number of new page-groups mapped. Growth is
+        append-only from the sub-tensor base, mirroring how a request's
+        context extends one token at a time.
+        """
+        if target_bytes > self.config.request_stride:
+            raise ConfigError(
+                f"target {target_bytes} exceeds per-request stride "
+                f"{self.config.request_stride}"
+            )
+        base = self.request_base(req_id)
+        have = self._mapped[req_id]
+        want = self.page_groups_for(target_bytes)
+        for index in range(have, want):
+            handle = self.driver.v_mem_create()
+            offset = base + index * self.config.page_group_size
+            self.driver.v_mem_map(self.reservation, offset, handle)
+        self._mapped[req_id] = max(have, want)
+        return max(0, want - have)
+
+    def shrink(self, req_id: int, page_groups: int) -> int:
+        """Unmap and release the top ``page_groups`` of a sub-tensor."""
+        base = self.request_base(req_id)
+        have = self._mapped[req_id]
+        take = min(page_groups, have)
+        for index in range(have - 1, have - take - 1, -1):
+            offset = base + index * self.config.page_group_size
+            self.driver.v_mem_release(self.reservation, offset)
+        self._mapped[req_id] = have - take
+        return take
+
+    def release_request(self, req_id: int) -> int:
+        """Unmap everything a request holds; returns page-groups freed."""
+        return self.shrink(req_id, self._mapped[req_id])
+
+    # ------------------------------------------------------------------
+    def check_token_access(self, req_id: int, token_index: int) -> None:
+        """Simulate the attention kernel reading one token's K (or V).
+
+        Raises :class:`~repro.errors.AccessError` if the token's bytes
+        are not physically backed — the failure mode a buggy memory
+        manager would produce on real hardware.
+        """
+        per_token = self.config.bytes_per_token_per_tensor
+        offset = self.request_base(req_id) + token_index * per_token
+        self.reservation.check_access(offset, per_token)
+
+    def check_context_access(self, req_id: int, context_len: int) -> None:
+        """Simulate a contiguous kernel read of a request's whole cache."""
+        per_token = self.config.bytes_per_token_per_tensor
+        self.reservation.check_access(
+            self.request_base(req_id), context_len * per_token
+        )
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Unmap all requests and free the reservation."""
+        for req_id in range(self.config.max_batch_size):
+            self.release_request(req_id)
+        self.driver.v_mem_free(self.reservation)
+
+    def _check_reqid(self, req_id: int) -> None:
+        if not 0 <= req_id < self.config.max_batch_size:
+            raise SchedulingError(
+                f"reqId {req_id} out of range [0, "
+                f"{self.config.max_batch_size})"
+            )
+
+
+def build_kv_tensors(
+    device: Device, config: VAttentionConfig, count: int
+) -> List[VirtualKvTensor]:
+    """Materialize ``count`` exact KV tensors (tests/examples only).
+
+    Materializing all ``2N`` tensors of a large model is intentionally
+    left to the row-based manager; this helper is for small ``count``.
+    """
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    return [VirtualKvTensor(device, config) for _ in range(count)]

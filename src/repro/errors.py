@@ -1,0 +1,69 @@
+"""Exception hierarchy for the vAttention reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+The GPU-level errors mirror the CUDA result codes that the real APIs
+return (e.g. ``CUDA_ERROR_OUT_OF_MEMORY``) but as exceptions, which is the
+idiomatic Python surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid model / serving / memory-manager configuration."""
+
+
+class GpuError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class OutOfPhysicalMemory(GpuError):
+    """The physical page pool cannot satisfy an allocation.
+
+    Mirrors ``CUDA_ERROR_OUT_OF_MEMORY`` from ``cuMemCreate``.
+    """
+
+
+class OutOfVirtualMemory(GpuError):
+    """The virtual address space cannot satisfy a reservation.
+
+    Virtually impossible on real hardware (128TB user VA); raised by the
+    simulator when a test deliberately shrinks the VA space.
+    """
+
+
+class InvalidHandle(GpuError):
+    """A physical-memory handle is unknown or already released."""
+
+
+class InvalidAddress(GpuError):
+    """An address is outside any reservation or badly aligned."""
+
+
+class MappingError(GpuError):
+    """(Un)mapping failed, e.g. mapping over an existing mapping."""
+
+
+class AccessError(GpuError):
+    """A load/store touched virtual memory with no physical backing."""
+
+
+class AllocationFailed(ReproError):
+    """vAttention ``step()`` could not back all active requests.
+
+    The serving framework reacts by preempting requests, mirroring the
+    paper's ``step`` returning -1.
+    """
+
+
+class SchedulingError(ReproError):
+    """The serving engine was driven with an inconsistent request state."""
+
+
+class KernelError(ReproError):
+    """An attention-kernel model was invoked with unsupported arguments."""

@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes a ``run(...)`` function returning plain data rows
+(suitable for printing or asserting in benchmarks) mirroring the series
+the paper plots. The bench harness in ``benchmarks/`` regenerates every
+table and figure from these drivers.
+"""
+
+from .common import PAPER_CONFIGS, SystemConfig, paper_engine
+
+__all__ = ["PAPER_CONFIGS", "SystemConfig", "paper_engine"]

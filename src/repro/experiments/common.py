@@ -1,0 +1,121 @@
+"""Shared experiment plumbing: the paper's named configurations.
+
+The evaluation compares labeled configurations (S7): ``vLLM``,
+``FA2_Paged``, ``FI_Paged``, ``FA2_vAttention``, ``FI_vAttention`` and
+``FA3_vAttention``. Each maps to a (prefill kernel, decode kernel,
+memory backend, block size) tuple below, with the block sizes the paper
+found best per system (16 for vLLM/FlashInfer, 256 for FA2's paged
+kernel).
+
+Note the vAttention configurations pair FlashInfer's *prefill* kernel
+with FlashAttention-2's decode kernel, as the paper does (S7.2:
+FlashInfer's non-paged decode kernel is uncompetitive). ``vLLM`` runs a
+contiguous prefill kernel plus block append because vLLM has no paged
+prefill kernel (S7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..gpu.spec import A100, H100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.zoo import get_model, paper_deployment
+from ..serving.engine import EngineConfig, LLMEngine
+from ..units import MB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One labeled system configuration from the paper's evaluation."""
+
+    label: str
+    prefill_kernel: str
+    decode_kernel: str
+    memory_backend: str
+    block_size: int = 16
+    requires_hopper: bool = False
+
+
+PAPER_CONFIGS: Dict[str, SystemConfig] = {
+    "vLLM": SystemConfig(
+        label="vLLM",
+        prefill_kernel="fa2",  # contiguous prefill + copy into blocks
+        decode_kernel="vllm_paged",
+        memory_backend="paged",
+        block_size=16,
+    ),
+    "FA2_Paged": SystemConfig(
+        label="FA2_Paged",
+        prefill_kernel="fa2_paged",
+        decode_kernel="fa2_paged",
+        memory_backend="paged",
+        block_size=256,  # FA2's minimum and best paged block size
+    ),
+    "FI_Paged": SystemConfig(
+        label="FI_Paged",
+        prefill_kernel="fi_paged",
+        decode_kernel="fi_paged",
+        memory_backend="paged",
+        block_size=16,
+    ),
+    "FA2_vAttention": SystemConfig(
+        label="FA2_vAttention",
+        prefill_kernel="fa2",
+        decode_kernel="fa2",
+        memory_backend="vattention",
+    ),
+    "FI_vAttention": SystemConfig(
+        label="FI_vAttention",
+        prefill_kernel="fi",
+        decode_kernel="fa2",  # FI's non-paged decode is 14.6x slower (S7.2)
+        memory_backend="vattention",
+    ),
+    "FA3_vAttention": SystemConfig(
+        label="FA3_vAttention",
+        prefill_kernel="fa3",
+        decode_kernel="fa3",
+        memory_backend="vattention",
+        requires_hopper=True,
+    ),
+}
+
+
+def paper_engine(
+    label: str,
+    model: ModelConfig | str,
+    gpu: Optional[GpuSpec] = None,
+    max_batch_size: int = 32,
+    page_group_size: int = 2 * MB,
+    **overrides,
+) -> LLMEngine:
+    """Build the engine for one of the paper's labeled configurations.
+
+    ``model`` is deployed at the paper's TP degree (Table 5). The GPU
+    defaults to A100, or H100 for the FA3 configuration.
+    """
+    try:
+        system = PAPER_CONFIGS[label]
+    except KeyError:
+        known = ", ".join(sorted(PAPER_CONFIGS))
+        raise ConfigError(f"unknown system {label!r}; known: {known}") from None
+    shard = paper_deployment(get_model(model) if isinstance(model, str) else model)
+    if gpu is None:
+        gpu = H100 if system.requires_hopper else A100
+    if system.requires_hopper and gpu.architecture != "hopper":
+        raise ConfigError(f"{label} requires a Hopper GPU, got {gpu.name}")
+    config = EngineConfig(
+        shard=shard,
+        gpu=gpu,
+        memory_backend=system.memory_backend,
+        prefill_kernel=system.prefill_kernel,
+        decode_kernel=system.decode_kernel,
+        max_batch_size=max_batch_size,
+        block_size=system.block_size,
+        page_group_size=page_group_size,
+        label=label,
+        **overrides,
+    )
+    return LLMEngine(config)

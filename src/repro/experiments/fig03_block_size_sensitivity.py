@@ -1,0 +1,77 @@
+"""Figure 3: vLLM's paged decode kernel is sensitive to block size.
+
+Paper setup: Llama-3-8B on one A100; batch x context of N x 16K for
+N in 1..16; block sizes 16/32/64/128; runtime normalized to block 16
+(1.9x worst case at blocks of 128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..gpu.spec import A100, GpuSpec
+from ..kernels.registry import get_kernel
+from ..models.shard import ShardedModel
+from ..models.zoo import LLAMA3_8B
+
+DEFAULT_BATCHES = (1, 2, 4, 8, 16)
+DEFAULT_BLOCK_SIZES = (16, 32, 64, 128)
+CONTEXT_LEN = 16_384
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One batch-size group of Figure 3."""
+
+    batch_size: int
+    context_len: int
+    latency_by_block: Dict[int, float]
+
+    def normalized(self, block_size: int) -> float:
+        """Latency at ``block_size`` relative to block size 16."""
+        return self.latency_by_block[block_size] / self.latency_by_block[16]
+
+
+def run(
+    batches: Sequence[int] = DEFAULT_BATCHES,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    context_len: int = CONTEXT_LEN,
+    gpu: GpuSpec = A100,
+) -> List[Fig3Row]:
+    """Compute the Figure 3 series."""
+    shard = ShardedModel(LLAMA3_8B, tp_degree=1)
+    kernel = get_kernel("vllm_paged", gpu)
+    rows = []
+    for batch in batches:
+        contexts = [context_len] * batch
+        latencies = {
+            block: kernel.decode_time(shard, contexts, block_size=block)
+            for block in block_sizes
+        }
+        rows.append(
+            Fig3Row(
+                batch_size=batch,
+                context_len=context_len,
+                latency_by_block=latencies,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the figure series as a table."""
+    print("Figure 3: vLLM paged decode kernel vs block size (Llama-3-8B)")
+    header = f"{'batch*ctx':>10}" + "".join(
+        f" {f'bs{b}':>9}" for b in DEFAULT_BLOCK_SIZES
+    )
+    print(header)
+    for row in run():
+        cells = "".join(
+            f" {row.normalized(b):>8.2f}x" for b in DEFAULT_BLOCK_SIZES
+        )
+        print(f"{row.batch_size:>6}*16K{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Figure 7: prefill throughput of the four attention back-ends.
+
+Paper setup: Yi-6B (1xA100), Llama-3-8B and Yi-34B (2xA100 TP-2);
+context lengths 1K-192K; configurations FA2_Paged, FI_Paged,
+FA2_vAttention, FI_vAttention. Expected shape: near-parity at short
+contexts for FA2 (linear ops dominate), vAttention ahead of FI_Paged
+everywhere (object churn + per-block append), and 1.17-1.26x gains at
+long contexts where paged attention kernels pay their overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.shard import ShardedModel
+from ..models.zoo import EVALUATED_MODELS
+from .prefill_model import prefill_breakdown
+
+DEFAULT_CONTEXTS = (
+    1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 131_072, 196_608
+)
+SYSTEMS = ("FA2_Paged", "FI_Paged", "FA2_vAttention", "FI_vAttention")
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Prefill throughput of all systems at one (model, context) point."""
+
+    model: str
+    context_len: int
+    throughput: Dict[str, float]  # label -> tokens/s
+
+    def speedup(self, system: str, baseline: str) -> float:
+        """Throughput ratio of two configurations."""
+        return self.throughput[system] / self.throughput[baseline]
+
+
+def run(
+    contexts: Sequence[int] = DEFAULT_CONTEXTS,
+    gpu: GpuSpec = A100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+) -> List[Fig7Row]:
+    """Compute the Figure 7 series."""
+    rows = []
+    for model, tp_degree in models:
+        shard = ShardedModel(model, tp_degree)
+        for context in contexts:
+            throughput = {
+                label: prefill_breakdown(label, shard, gpu, context).throughput
+                for label in SYSTEMS
+            }
+            rows.append(
+                Fig7Row(model=model.name, context_len=context, throughput=throughput)
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the figure series."""
+    print("Figure 7: prefill throughput (tokens/s)")
+    print(f"{'model':>12} {'context':>8}" + "".join(f" {s:>15}" for s in SYSTEMS))
+    for row in run():
+        cells = "".join(f" {row.throughput[s]:>15.0f}" for s in SYSTEMS)
+        print(f"{row.model:>12} {row.context_len:>8}{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Figure 8 (+ Table 7): decode throughput and kernel latency.
+
+Paper setup: initial context 16K, batch sizes 1-32 (Yi-34B OOMs at 32),
+decode throughput from the mean latency of 400 decode iterations;
+systems vLLM, FA2_Paged, FI_Paged, FA2_vAttention. Expected shape:
+FA2_vAttention on par with FA2_Paged (decode attention is memory-bound),
+both up to ~2x over vLLM, FI_Paged in between.
+
+This driver runs the *full serving engine* — prefills, per-iteration
+``step()`` allocation, Block-Table preparation — not just the kernels,
+so the CPU-overhead effects of S3.3.2 are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..gpu.spec import A100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.zoo import EVALUATED_MODELS, get_model
+from ..workloads.traces import fixed_trace
+from .common import paper_engine
+
+DEFAULT_BATCHES = (1, 2, 4, 8, 12, 16, 32)
+SYSTEMS = ("vLLM", "FA2_Paged", "FI_Paged", "FA2_vAttention")
+INITIAL_CONTEXT = 16_384
+DECODE_ITERATIONS = 400
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One (model, system, batch) point."""
+
+    model: str
+    system: str
+    batch_size: int
+    #: None when the configuration runs out of memory (paper: Yi-34B@32).
+    tokens_per_second: Optional[float]
+    mean_decode_latency: Optional[float]
+
+
+def _measure(
+    model: ModelConfig,
+    system: str,
+    batch_size: int,
+    gpu: GpuSpec,
+    decode_iterations: int,
+) -> Fig8Row:
+    engine = paper_engine(system, model, gpu=gpu, max_batch_size=batch_size)
+    requests = fixed_trace(
+        count=batch_size,
+        prompt_len=INITIAL_CONTEXT,
+        max_new_tokens=decode_iterations + 1,
+    )
+    # The full batch must stay resident for the whole run: if the final
+    # per-worker KV footprint exceeds the budget, the configuration is
+    # reported as OOM, as the paper does for Yi-34B at batch 32.
+    final_tokens = batch_size * (INITIAL_CONTEXT + decode_iterations)
+    final_bytes = final_tokens * engine.config.shard.kv_bytes_per_token
+    if final_bytes > engine.device.pool.capacity:
+        return Fig8Row(model.name, system, batch_size, None, None)
+    engine.submit(requests)
+    try:
+        report = engine.run()
+    except ReproError:
+        return Fig8Row(model.name, system, batch_size, None, None)
+    decode_records = report.metrics.of_phase("decode")
+    # Only steady-state iterations at the full batch count (mirrors the
+    # paper's 400-iteration mean at the configured batch size).
+    full_batch = [r for r in decode_records if r.batch_size == batch_size]
+    if not full_batch:
+        return Fig8Row(model.name, system, batch_size, None, None)
+    mean_latency = sum(r.latency for r in full_batch) / len(full_batch)
+    return Fig8Row(
+        model=model.name,
+        system=system,
+        batch_size=batch_size,
+        tokens_per_second=batch_size / mean_latency,
+        mean_decode_latency=mean_latency,
+    )
+
+
+def run(
+    batches: Sequence[int] = DEFAULT_BATCHES,
+    systems: Sequence[str] = SYSTEMS,
+    gpu: GpuSpec = A100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+    decode_iterations: int = DECODE_ITERATIONS,
+) -> List[Fig8Row]:
+    """Compute the Figure 8 series."""
+    rows = []
+    for model, _tp in models:
+        for system in systems:
+            for batch in batches:
+                rows.append(
+                    _measure(model, system, batch, gpu, decode_iterations)
+                )
+    return rows
+
+
+def max_speedup_over_vllm(rows: Sequence[Fig8Row], model: str) -> float:
+    """Best FA2_vAttention / vLLM throughput ratio for ``model``.
+
+    Paper: up to 1.99x (Yi-6B), 1.58x (Llama-3-8B), 1.53x (Yi-34B).
+    """
+    by_batch = {}
+    for row in rows:
+        if row.model != model or row.tokens_per_second is None:
+            continue
+        by_batch.setdefault(row.batch_size, {})[row.system] = (
+            row.tokens_per_second
+        )
+    ratios = [
+        systems["FA2_vAttention"] / systems["vLLM"]
+        for systems in by_batch.values()
+        if "FA2_vAttention" in systems and "vLLM" in systems
+    ]
+    if not ratios:
+        raise ReproError(f"no comparable points for {model}")
+    return max(ratios)
+
+
+def main() -> None:
+    """Print the figure series."""
+    print("Figure 8: decode throughput (tokens/s), initial context 16K")
+    rows = run()
+    print(f"{'model':>12} {'batch':>6}" + "".join(f" {s:>15}" for s in SYSTEMS))
+    models = sorted({r.model for r in rows})
+    for model in models:
+        for batch in DEFAULT_BATCHES:
+            cells = ""
+            for system in SYSTEMS:
+                match = [
+                    r for r in rows
+                    if r.model == model and r.batch_size == batch
+                    and r.system == system
+                ]
+                value = match[0].tokens_per_second if match else None
+                cells += f" {value:>15.0f}" if value else f" {'OOM':>15}"
+            print(f"{model:>12} {batch:>6}{cells}")
+
+
+if __name__ == "__main__":
+    main()

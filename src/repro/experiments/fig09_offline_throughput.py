@@ -1,0 +1,90 @@
+"""Figure 9: end-to-end offline throughput on long-context requests.
+
+Paper setup: 427 arXiv-Summarization requests (context 64K-192K, decode
+17-5153, mean P:D 356), all present at time zero; metric is requests
+completed per minute. Expected shape: FA2_vAttention beats FA2_Paged by
+~1.13-1.18x and FI_Paged by ~1.14-1.23x — the gains track how
+prefill-bound the workload is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.zoo import EVALUATED_MODELS
+from ..workloads.traces import arxiv_offline_trace
+from .common import paper_engine
+
+SYSTEMS = ("FA2_Paged", "FI_Paged", "FA2_vAttention")
+DEFAULT_MAX_BATCH = 48
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """Offline throughput of all systems for one model."""
+
+    model: str
+    requests_per_minute: Dict[str, float]
+
+    def speedup(self, system: str, baseline: str) -> float:
+        """Throughput ratio between two systems."""
+        return self.requests_per_minute[system] / self.requests_per_minute[baseline]
+
+
+def run(
+    systems: Sequence[str] = SYSTEMS,
+    gpu: GpuSpec = A100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+    request_count: int = 427,
+    seed: int = 2405,
+    max_batch_size: int = DEFAULT_MAX_BATCH,
+) -> List[Fig9Row]:
+    """Run the offline trace through every (model, system) pair.
+
+    ``request_count`` defaults to the paper's 427; tests pass a smaller
+    count (the paper's own artifact does the same for quick runs).
+    """
+    rows = []
+    for model, _tp in models:
+        throughput = {}
+        for system in systems:
+            engine = paper_engine(
+                system, model, gpu=gpu, max_batch_size=max_batch_size
+            )
+            trace = arxiv_offline_trace(count=request_count, seed=seed)
+            engine.submit(trace)
+            report = engine.run()
+            throughput[system] = report.requests_per_minute()
+        rows.append(Fig9Row(model=model.name, requests_per_minute=throughput))
+    return rows
+
+
+def main() -> None:
+    """Print the figure series with bar charts."""
+    from ..metrics.ascii_plot import bar_chart
+
+    print("Figure 9: offline throughput, arXiv-Summarization trace")
+    print(f"{'model':>12}" + "".join(f" {s:>15}" for s in SYSTEMS) + "   vAttn/FA2P  vAttn/FIP")
+    rows = run()
+    for row in rows:
+        cells = "".join(
+            f" {row.requests_per_minute[s]:>15.2f}" for s in SYSTEMS
+        )
+        print(
+            f"{row.model:>12}{cells}"
+            f" {row.speedup('FA2_vAttention', 'FA2_Paged'):>10.2f}x"
+            f" {row.speedup('FA2_vAttention', 'FI_Paged'):>9.2f}x"
+        )
+    for row in rows:
+        print(f"\n{row.model} (requests/minute):")
+        print(bar_chart(
+            [(s, round(row.requests_per_minute[s], 2)) for s in SYSTEMS],
+            width=36,
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Figure 11: portability — FlashAttention-3 on H100 via vAttention.
+
+Paper setup: same offline arXiv-Summarization workload as Figure 9, on
+1-2 H100 GPUs; systems FA2_Paged, FA2_vAttention and FA3_vAttention.
+FA3 had no PagedAttention support at release, so only vAttention can
+run it — and it adds up to 1.35x over FA2_vAttention (Yi-6B), i.e.
+1.26-1.5x over FA2_Paged, with zero code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import H100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.zoo import EVALUATED_MODELS
+from ..workloads.traces import arxiv_offline_trace
+from .common import paper_engine
+
+SYSTEMS = ("FA2_Paged", "FA2_vAttention", "FA3_vAttention")
+DEFAULT_MAX_BATCH = 48
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """Offline H100 throughput of all systems for one model."""
+
+    model: str
+    requests_per_minute: Dict[str, float]
+
+    def fa3_gain_over_paged(self) -> float:
+        """FA3_vAttention / FA2_Paged (paper: 1.26-1.5x)."""
+        return (
+            self.requests_per_minute["FA3_vAttention"]
+            / self.requests_per_minute["FA2_Paged"]
+        )
+
+    def fa3_gain_over_vattention(self) -> float:
+        """FA3_vAttention / FA2_vAttention (paper: up to 1.35x)."""
+        return (
+            self.requests_per_minute["FA3_vAttention"]
+            / self.requests_per_minute["FA2_vAttention"]
+        )
+
+
+def run(
+    systems: Sequence[str] = SYSTEMS,
+    gpu: GpuSpec = H100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+    request_count: int = 427,
+    seed: int = 2405,
+    max_batch_size: int = DEFAULT_MAX_BATCH,
+) -> List[Fig11Row]:
+    """Run the offline trace on H100s for every (model, system) pair."""
+    rows = []
+    for model, _tp in models:
+        throughput = {}
+        for system in systems:
+            engine = paper_engine(
+                system, model, gpu=gpu, max_batch_size=max_batch_size
+            )
+            trace = arxiv_offline_trace(count=request_count, seed=seed)
+            engine.submit(trace)
+            report = engine.run()
+            throughput[system] = report.requests_per_minute()
+        rows.append(Fig11Row(model=model.name, requests_per_minute=throughput))
+    return rows
+
+
+def main() -> None:
+    """Print the figure series."""
+    print("Figure 11: offline throughput on H100 (requests/minute)")
+    print(f"{'model':>12}" + "".join(f" {s:>15}" for s in SYSTEMS) + "  FA3/Paged")
+    for row in run():
+        cells = "".join(
+            f" {row.requests_per_minute[s]:>15.2f}" for s in SYSTEMS
+        )
+        print(f"{row.model:>12}{cells} {row.fa3_gain_over_paged():>9.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Figure 15: maximum batch size by page-group size on a dynamic trace.
+
+Paper setup: OpenChat-style trace at 7 QPS; the maximum concurrent
+batch each page-group size sustains before physical memory caps
+admission. Smaller page-groups waste less memory per request (one
+partially-filled page-group per virtual tensor), so 64KB reaches
+1.18-1.28x larger batches than 2MB (paper: Yi-6B 187 -> 240, Llama-3-8B
+203 -> 258, Yi-34B 56 -> 68).
+
+The driver runs the serving engine and reports the peak running batch;
+the ordering (64KB >= 128KB >= 256KB >= 2MB) is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.zoo import EVALUATED_MODELS
+from ..units import KB, MB
+from ..workloads.arrival import poisson_arrivals
+from ..workloads.traces import openchat_trace
+from .common import paper_engine
+
+PAGE_GROUP_SIZES = (2 * MB, 256 * KB, 128 * KB, 64 * KB)
+QPS = 7.0
+DEFAULT_REQUESTS = 1500
+MAX_BATCH_CAP = 400
+#: Effective per-worker KV serving budget. The paper's deployment leaves
+#: far less than (GPU memory - weights) to the KV cache — vLLM's memory
+#: utilization factor plus CUDA context/workspace reservations — and the
+#: capacity experiment only shows page-size effects once memory binds
+#: before the scheduler cap. 12GB/worker puts 7 QPS of OpenChat traffic
+#: into that regime, like the paper's setup.
+KV_BUDGET_BYTES = 12 * 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    """Peak sustained batch of one model across page-group sizes."""
+
+    model: str
+    max_batch: Dict[int, int]  # page-group size -> peak batch
+
+    def gain_over_2mb(self, page_group_size: int) -> float:
+        """Peak-batch ratio vs 2MB pages (paper: up to 1.28x at 64KB)."""
+        return self.max_batch[page_group_size] / self.max_batch[2 * MB]
+
+
+def run_one(
+    model: ModelConfig,
+    page_group_size: int,
+    gpu: GpuSpec = A100,
+    request_count: int = DEFAULT_REQUESTS,
+    qps: float = QPS,
+    seed: int = 7474,
+    kv_budget_bytes: int = KV_BUDGET_BYTES,
+) -> int:
+    """Peak concurrent batch for one (model, page-group size) cell."""
+    engine = paper_engine(
+        "FA2_vAttention",
+        model,
+        gpu=gpu,
+        max_batch_size=MAX_BATCH_CAP,
+        page_group_size=page_group_size,
+        kv_budget_bytes=kv_budget_bytes,
+    )
+    arrivals = poisson_arrivals(qps, request_count, seed=seed)
+    trace = openchat_trace(arrivals, seed=seed)
+    engine.submit(trace)
+    report = engine.run()
+    return max(r.batch_size for r in report.metrics.iterations)
+
+
+def run(
+    gpu: GpuSpec = A100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+    page_group_sizes: Sequence[int] = PAGE_GROUP_SIZES,
+    request_count: int = DEFAULT_REQUESTS,
+    qps: float = QPS,
+) -> List[Fig15Row]:
+    """Compute the Figure 15 bars."""
+    rows = []
+    for model, _tp in models:
+        max_batch = {
+            size: run_one(
+                model, size, gpu=gpu, request_count=request_count, qps=qps
+            )
+            for size in page_group_sizes
+        }
+        rows.append(Fig15Row(model=model.name, max_batch=max_batch))
+    return rows
+
+
+def main() -> None:
+    """Print the figure bars."""
+    print("Figure 15: max batch size by page-group size (OpenChat, 7 QPS)")
+    header = f"{'model':>12}" + "".join(
+        f" {s // KB}KB".rjust(8) if s < MB else f" {s // MB}MB".rjust(8)
+        for s in PAGE_GROUP_SIZES
+    )
+    print(header)
+    for row in run():
+        cells = "".join(f" {row.max_batch[s]:>7}" for s in PAGE_GROUP_SIZES)
+        print(f"{row.model:>12}{cells}  (64KB/2MB = "
+              f"{row.gain_over_2mb(64 * KB):.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

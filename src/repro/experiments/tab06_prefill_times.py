@@ -1,0 +1,78 @@
+"""Table 6: prefill completion and attention time at long contexts.
+
+Paper reports, for each model at 64K/128K/192K context, the total
+prefill completion time and (in parenthesis) the attention-kernel time,
+for FlashAttention-2 and FlashInfer in Paged and vAttention variants.
+Anchor values: Yi-6B at 192K — FA2 paged 81.5s (70.0s attention) vs
+vAttention 64.6s (53.6s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..models.config import ModelConfig
+from ..models.shard import ShardedModel
+from ..models.zoo import EVALUATED_MODELS
+from .prefill_model import PrefillBreakdown, prefill_breakdown
+
+DEFAULT_CONTEXTS = (65_536, 131_072, 196_608)
+SYSTEMS = ("FA2_Paged", "FA2_vAttention", "FI_Paged", "FI_vAttention")
+
+
+@dataclass(frozen=True)
+class Tab6Row:
+    """One (model, context) row: per-system completion/attention times."""
+
+    model: str
+    context_len: int
+    breakdowns: Dict[str, PrefillBreakdown]
+
+    def completion(self, system: str) -> float:
+        """Total prefill completion time (seconds)."""
+        return self.breakdowns[system].total_seconds
+
+    def attention(self, system: str) -> float:
+        """Attention-kernel time (the parenthesized value)."""
+        return self.breakdowns[system].attention_seconds
+
+
+def run(
+    contexts: Sequence[int] = DEFAULT_CONTEXTS,
+    gpu: GpuSpec = A100,
+    models: Sequence[Tuple[ModelConfig, int]] = EVALUATED_MODELS,
+) -> List[Tab6Row]:
+    """Compute Table 6."""
+    rows = []
+    for model, tp_degree in models:
+        shard = ShardedModel(model, tp_degree)
+        for context in contexts:
+            rows.append(
+                Tab6Row(
+                    model=model.name,
+                    context_len=context,
+                    breakdowns={
+                        label: prefill_breakdown(label, shard, gpu, context)
+                        for label in SYSTEMS
+                    },
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    """Print Table 6."""
+    print("Table 6: prefill completion (attention) time, seconds")
+    print(f"{'model':>12} {'ctx':>6}" + "".join(f" {s:>22}" for s in SYSTEMS))
+    for row in run():
+        cells = "".join(
+            f" {row.completion(s):>12.1f} ({row.attention(s):>5.1f})"
+            for s in SYSTEMS
+        )
+        print(f"{row.model:>12} {row.context_len // 1024:>5}K{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Table 7: total decode attention-kernel latency per iteration.
+
+Paper reports the summed-over-layers attention latency of one decode
+iteration (milliseconds) for vLLM, FA2_Paged, FI_Paged and
+FA2_vAttention at the paper's batch sizes, with a 16K context. Anchors:
+Yi-6B at batch 16 — vLLM 32.3ms, FA2_Paged 11.5ms, FI_Paged 15.2ms,
+FA2_vAttention 11.3ms (the 2.8x vLLM gap of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..kernels.registry import get_kernel
+from ..models.config import ModelConfig
+from ..models.shard import ShardedModel
+from ..models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from .common import PAPER_CONFIGS
+
+CONTEXT_LEN = 16_384
+#: (model, tp, batch sizes) exactly as in the paper's Table 7.
+TABLE7_POINTS: Tuple[Tuple[ModelConfig, int, Tuple[int, ...]], ...] = (
+    (YI_6B, 1, (16, 32)),
+    (LLAMA3_8B, 2, (16, 32)),
+    (YI_34B, 2, (12, 16)),
+)
+SYSTEMS = ("vLLM", "FA2_Paged", "FI_Paged", "FA2_vAttention")
+
+
+@dataclass(frozen=True)
+class Tab7Row:
+    """Per-system decode kernel latency at one (model, batch) point."""
+
+    model: str
+    batch_size: int
+    latency_ms: Dict[str, float]
+
+    def vllm_gap(self) -> float:
+        """vLLM latency over FA2_vAttention (paper: up to 2.8x)."""
+        return self.latency_ms["vLLM"] / self.latency_ms["FA2_vAttention"]
+
+
+def run(
+    gpu: GpuSpec = A100,
+    points: Sequence[Tuple[ModelConfig, int, Tuple[int, ...]]] = TABLE7_POINTS,
+    context_len: int = CONTEXT_LEN,
+) -> List[Tab7Row]:
+    """Compute Table 7 (kernel time only, as the paper measures)."""
+    rows = []
+    for model, tp_degree, batches in points:
+        shard = ShardedModel(model, tp_degree)
+        for batch in batches:
+            contexts = [context_len] * batch
+            latency_ms = {}
+            for label in SYSTEMS:
+                system = PAPER_CONFIGS[label]
+                kernel = get_kernel(system.decode_kernel, gpu)
+                block = system.block_size if kernel.is_paged else None
+                latency_ms[label] = 1e3 * kernel.decode_time(
+                    shard, contexts, block
+                )
+            rows.append(
+                Tab7Row(model=model.name, batch_size=batch, latency_ms=latency_ms)
+            )
+    return rows
+
+
+def main() -> None:
+    """Print Table 7."""
+    print("Table 7: decode attention kernel latency per iteration (ms)")
+    print(f"{'model':>12} {'BS':>4}" + "".join(f" {s:>15}" for s in SYSTEMS))
+    for row in run():
+        cells = "".join(f" {row.latency_ms[s]:>15.1f}" for s in SYSTEMS)
+        print(f"{row.model:>12} {row.batch_size:>4}{cells}")
+
+
+if __name__ == "__main__":
+    main()

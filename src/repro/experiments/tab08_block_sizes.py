@@ -1,0 +1,76 @@
+"""Table 8: KV cache block size vs page-group size and TP degree.
+
+Block size = tokens whose one-layer K (or V) cache fills one page-group:
+``page_group_size / (H * D * P)`` per worker. Anchors: Yi-6B TP-1 — 64
+tokens at 64KB up to 2048 at 2MB; TP-2 doubles every entry because each
+worker holds half the KV heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.config import VAttentionConfig
+from ..models.config import ModelConfig
+from ..models.shard import ShardedModel
+from ..models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from ..units import KB, MB
+
+PAGE_GROUP_SIZES = (64 * KB, 128 * KB, 256 * KB, 2 * MB)
+#: The paper's Table 8 rows: every model at TP-1 and TP-2.
+TABLE8_DEPLOYMENTS: Tuple[Tuple[ModelConfig, int], ...] = (
+    (YI_6B, 1),
+    (YI_6B, 2),
+    (LLAMA3_8B, 1),
+    (LLAMA3_8B, 2),
+    (YI_34B, 1),
+    (YI_34B, 2),
+)
+
+
+@dataclass(frozen=True)
+class Tab8Row:
+    """Block sizes of one deployment across page-group sizes."""
+
+    model: str
+    tp_degree: int
+    block_size: Dict[int, int]
+
+
+def run(
+    deployments: Sequence[Tuple[ModelConfig, int]] = TABLE8_DEPLOYMENTS,
+    page_group_sizes: Sequence[int] = PAGE_GROUP_SIZES,
+) -> List[Tab8Row]:
+    """Compute Table 8 through the vAttention configuration math."""
+    rows = []
+    for model, tp_degree in deployments:
+        shard = ShardedModel(model, tp_degree)
+        blocks = {}
+        for size in page_group_sizes:
+            config = VAttentionConfig(
+                shard=shard, max_batch_size=1, page_group_size=size
+            )
+            blocks[size] = config.tokens_per_page_group
+        rows.append(
+            Tab8Row(model=model.name, tp_degree=tp_degree, block_size=blocks)
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Table 8."""
+    print("Table 8: KV cache block size (tokens per page-group)")
+    header = f"{'deployment':>20}" + "".join(
+        f" {s // KB}KB".rjust(8) if s < MB else f" {s // MB}MB".rjust(8)
+        for s in PAGE_GROUP_SIZES
+    )
+    print(header)
+    for row in run():
+        name = f"{row.model} (TP-{row.tp_degree})"
+        cells = "".join(f" {row.block_size[s]:>7}" for s in PAGE_GROUP_SIZES)
+        print(f"{name:>20}{cells}")
+
+
+if __name__ == "__main__":
+    main()

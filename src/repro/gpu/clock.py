@@ -1,0 +1,73 @@
+"""Simulated clock shared by the GPU, drivers and the serving engine.
+
+The reproduction is a discrete-event simulation: nothing ever sleeps, and
+all latencies (kernel execution, CUDA VMM API calls, queueing) are modeled
+by advancing this clock. Components that need to account time accept a
+:class:`SimClock` and call :meth:`SimClock.advance`.
+
+A clock can have *observers* (e.g. the background allocation thread model)
+which are notified whenever time moves, allowing work that conceptually
+happens concurrently with compute to be credited correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+Observer = Callable[[float, float], None]
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds, defaults to 0.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative, got {start}")
+        self._now = float(start)
+        self._observers: List[Observer] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move time forward by ``duration`` seconds and return the new time.
+
+        Negative durations are rejected: simulated time never runs backwards.
+        """
+        if duration < 0:
+            raise ValueError(f"cannot advance clock by {duration}s")
+        previous = self._now
+        self._now += duration
+        for observer in self._observers:
+            observer(previous, self._now)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``.
+
+        A timestamp in the past is a no-op (the clock never rewinds); this
+        makes it safe to fast-forward to event times that may already have
+        been passed by accounted work.
+        """
+        if timestamp > self._now:
+            self.advance(timestamp - self._now)
+        return self._now
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register a callback invoked as ``observer(old_now, new_now)``."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        """Remove a previously registered observer."""
+        self._observers.remove(observer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,113 @@
+"""Hardware specifications for the simulated GPUs.
+
+The evaluation in the paper runs on NVIDIA A100-80GB (most experiments)
+and H100-80GB (the FlashAttention-3 portability study, Figure 11). The
+roofline cost models in :mod:`repro.kernels.costmodel` only need peak
+half-precision throughput, HBM bandwidth and memory capacity, so that is
+what a :class:`GpuSpec` carries.
+
+Page sizes: NVIDIA GPUs natively support 4KB, 64KB and 2MB pages (paper
+S6.2). The stock CUDA VMM APIs only expose 2MB granularity; the paper's
+driver extension adds 64KB/128KB/256KB page-groups, which we mirror in
+:mod:`repro.gpu.driver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..units import GB, KB, MB, TB
+
+#: Page sizes supported natively by the GPU MMU (paper S6.2).
+NATIVE_PAGE_SIZES: Tuple[int, ...] = (4 * KB, 64 * KB, 2 * MB)
+
+#: Allocation granularity of the stock CUDA VMM APIs.
+CUDA_VMM_GRANULARITY: int = 2 * MB
+
+#: Page-group sizes supported by the paper's extended driver APIs.
+DRIVER_PAGE_GROUP_SIZES: Tuple[int, ...] = (64 * KB, 128 * KB, 256 * KB)
+
+#: All granularities a serving framework may configure in vAttention.
+SUPPORTED_PAGE_GROUP_SIZES: Tuple[int, ...] = DRIVER_PAGE_GROUP_SIZES + (
+    CUDA_VMM_GRANULARITY,
+)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Capability description of one GPU device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A100-80GB"``.
+    memory_bytes:
+        HBM capacity.
+    peak_fp16_flops:
+        Peak dense half-precision tensor-core throughput (FLOP/s).
+    hbm_bandwidth:
+        Peak HBM bandwidth (bytes/s).
+    va_space_bytes:
+        User-addressable virtual address space per process visible to this
+        device. 64-bit systems give 128TB of user VA (paper S5.1), and the
+        usable VA grows with the number of workers.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_fp16_flops: float
+    hbm_bandwidth: float
+    va_space_bytes: int = 128 * TB
+    architecture: str = "ampere"
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigError(f"{self.name}: memory must be positive")
+        if self.peak_fp16_flops <= 0 or self.hbm_bandwidth <= 0:
+            raise ConfigError(f"{self.name}: peak rates must be positive")
+
+
+#: NVIDIA A100 SXM 80GB — 312 TFLOPS BF16, ~2.0TB/s HBM2e.
+A100 = GpuSpec(
+    name="A100-80GB",
+    memory_bytes=80 * GB,
+    peak_fp16_flops=312e12,
+    hbm_bandwidth=2.039e12,
+)
+
+#: NVIDIA H100 SXM 80GB — 989 TFLOPS BF16, ~3.35TB/s HBM3.
+H100 = GpuSpec(
+    name="H100-80GB",
+    memory_bytes=80 * GB,
+    peak_fp16_flops=989e12,
+    hbm_bandwidth=3.35e12,
+    architecture="hopper",
+)
+
+_REGISTRY: Dict[str, GpuSpec] = {spec.name: spec for spec in (A100, H100)}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by name, raising :class:`ConfigError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown GPU {name!r}; known: {known}") from None
+
+
+def register_gpu(spec: GpuSpec) -> None:
+    """Add a custom GPU spec to the registry (used by tests)."""
+    _REGISTRY[spec.name] = spec
+
+
+def validate_page_group_size(size: int) -> int:
+    """Check that ``size`` is a granularity vAttention can be configured with."""
+    if size not in SUPPORTED_PAGE_GROUP_SIZES:
+        supported = ", ".join(str(s) for s in SUPPORTED_PAGE_GROUP_SIZES)
+        raise ConfigError(
+            f"unsupported page-group size {size}; supported: {supported}"
+        )
+    return size

@@ -1,0 +1,181 @@
+"""Unified-memory (``cudaMallocManaged``) KV cache model (paper S8.1).
+
+The paper considered managing the KV cache with CUDA unified memory —
+virtual memory that materializes physical pages on first touch — and
+rejected it for serving because:
+
+1. **No partial freeing**: physical pages backing an individual
+   request's sub-tensor cannot be released; only destroying the whole
+   managed allocation reclaims memory. Under a churning workload,
+   committed memory ratchets up to the high-water footprint and stays
+   there.
+2. **No memory aliasing**: two requests cannot share the physical pages
+   of a common prefix, forfeiting KV de-duplication.
+3. **2MB pages by default**, with the attendant internal fragmentation.
+
+This module models exactly those semantics so the serving comparison
+(see ``experiments/ext_uvm_limitations``) can show the consequences.
+The paper's own driver extension is *built on* the open-source unified
+memory code — "unified memory optimized for LLM serving" — which is the
+:mod:`repro.gpu.driver` module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigError, OutOfPhysicalMemory, SchedulingError
+from ..gpu.phys import PhysicalHandle, PhysicalMemoryPool
+from ..units import MB, ceil_div
+
+#: cudaMallocManaged materializes 2MB pages on touch.
+UVM_PAGE_SIZE = 2 * MB
+
+#: Page-fault + migration cost of materializing one 2MB managed page.
+#: GPU page faults are handled by the driver over the replayable fault
+#: buffer; measured costs are tens of microseconds per fault batch.
+UVM_FAULT_LATENCY = 45e-6
+
+
+@dataclass
+class UvmSlot:
+    """One request slot inside the managed region."""
+
+    slot_id: int
+    active: bool = False
+    context_len: int = 0
+    #: Pages materialized over the slot's lifetime — never released.
+    touched_rows: int = 0
+
+
+class UvmKvRegion:
+    """A managed allocation holding the KV cache of up to B requests.
+
+    ``rows`` have the same meaning as in the vAttention manager: one
+    2MB page in each of the 2N per-layer K/V tensors. The crucial
+    difference is the release path — there is none, short of
+    :meth:`destroy`.
+    """
+
+    def __init__(
+        self,
+        pool: PhysicalMemoryPool,
+        max_batch_size: int,
+        n_tensors: int,
+        bytes_per_token_per_tensor: int,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ConfigError("max_batch_size must be positive")
+        self.pool = pool
+        self.n_tensors = n_tensors
+        self.bytes_per_token = bytes_per_token_per_tensor
+        self.tokens_per_row = UVM_PAGE_SIZE // bytes_per_token_per_tensor
+        if self.tokens_per_row < 1:
+            raise ConfigError("a 2MB page holds less than one token")
+        self.row_bytes = n_tensors * UVM_PAGE_SIZE
+        self.slots: List[UvmSlot] = [
+            UvmSlot(slot_id=i) for i in range(max_batch_size)
+        ]
+        self._handles: List[PhysicalHandle] = []
+        self.fault_count = 0
+        self._destroyed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_bytes(self) -> int:
+        """Physical bytes materialized so far (monotone non-decreasing)."""
+        return sum(handle.size for handle in self._handles)
+
+    def rows_for_context(self, context_len: int) -> int:
+        """Pages (per tensor) needed for ``context_len`` tokens."""
+        return ceil_div(max(context_len, 0), self.tokens_per_row)
+
+    def additional_rows_needed(self, slot_id: int, context_len: int) -> int:
+        """New pages a touch up to ``context_len`` would materialize.
+
+        Pages already touched by *any previous occupant* of the slot are
+        resident (the only reuse UVM gives you: same virtual addresses).
+        """
+        slot = self._slot(slot_id)
+        return max(0, self.rows_for_context(context_len) - slot.touched_rows)
+
+    def can_touch(self, slot_id: int, context_len: int) -> bool:
+        """Whether growing to ``context_len`` fits in remaining memory."""
+        needed = self.additional_rows_needed(slot_id, context_len)
+        return needed * self.row_bytes <= self.pool.available
+
+    # ------------------------------------------------------------------
+    def acquire_slot(self) -> int:
+        """Claim an inactive slot (prefer the most-touched: its pages
+        are already resident, the UVM analogue of deferred reclamation)."""
+        self._check_live()
+        candidates = [s for s in self.slots if not s.active]
+        if not candidates:
+            raise SchedulingError("all UVM slots are active")
+        slot = max(candidates, key=lambda s: (s.touched_rows, -s.slot_id))
+        slot.active = True
+        slot.context_len = 0
+        return slot.slot_id
+
+    def release_slot(self, slot_id: int) -> int:
+        """Deactivate a slot. Returns bytes reclaimed — always 0:
+        unified memory supports no partial freeing (S8.1)."""
+        slot = self._slot(slot_id)
+        if not slot.active:
+            raise SchedulingError(f"slot {slot_id} is not active")
+        slot.active = False
+        slot.context_len = 0
+        return 0
+
+    def touch(self, slot_id: int, context_len: int) -> float:
+        """Extend a slot's KV cache; returns the page-fault latency.
+
+        Materializes any pages not yet touched by this slot; faults are
+        taken on the critical path (UVM has no background preparation).
+        """
+        self._check_live()
+        slot = self._slot(slot_id)
+        if not slot.active:
+            raise SchedulingError(f"slot {slot_id} is not active")
+        if context_len < slot.context_len:
+            raise SchedulingError("context cannot shrink")
+        new_rows = self.additional_rows_needed(slot_id, context_len)
+        latency = 0.0
+        for _ in range(new_rows):
+            if self.row_bytes > self.pool.available:
+                raise OutOfPhysicalMemory(
+                    "managed region cannot materialize more pages; "
+                    "nothing can be freed without destroying the region"
+                )
+            self._handles.append(self.pool.allocate(self.row_bytes))
+            slot.touched_rows += 1
+            # One fault per page per tensor.
+            self.fault_count += self.n_tensors
+            latency += UVM_FAULT_LATENCY * self.n_tensors
+        slot.context_len = context_len
+        return latency
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> int:
+        """Free the whole region (the only way to reclaim); returns bytes."""
+        freed = 0
+        for handle in self._handles:
+            freed += handle.size
+            self.pool.release(handle)
+        self._handles.clear()
+        for slot in self.slots:
+            slot.active = False
+            slot.context_len = 0
+            slot.touched_rows = 0
+        self._destroyed = True
+        return freed
+
+    def _slot(self, slot_id: int) -> UvmSlot:
+        if not 0 <= slot_id < len(self.slots):
+            raise SchedulingError(f"slot {slot_id} out of range")
+        return self.slots[slot_id]
+
+    def _check_live(self) -> None:
+        if self._destroyed:
+            raise SchedulingError("managed region has been destroyed")

@@ -1,0 +1,215 @@
+"""CUDA virtual memory management (VMM) API surface with latency model.
+
+This module mirrors the driver API family the paper builds on
+(``cuMemAddressReserve`` / ``cuMemCreate`` / ``cuMemMap`` /
+``cuMemSetAccess`` / ``cuMemUnmap`` / ``cuMemRelease`` /
+``cuMemAddressFree``), including their costs. Latencies are taken
+verbatim from Table 3 of the paper (2MB column for the stock CUDA APIs;
+the small-page columns belong to the extended driver of
+:mod:`repro.gpu.driver`).
+
+Stock CUDA VMM only allocates at 2MB granularity — requesting a smaller
+page-group through this class is rejected, which is precisely the
+limitation that motivates the paper's driver extension.
+
+Time accounting
+---------------
+Each API call charges its latency to a *sink*. By default the sink is the
+simulated clock (the call happens synchronously in the critical path).
+The vAttention background-allocation thread redirects charges to a budget
+object instead (see :mod:`repro.core.background`), modelling allocation
+that overlaps with compute.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from ..errors import ConfigError, MappingError
+from ..units import KB, MB, is_aligned, us
+from .clock import SimClock
+from .phys import PhysicalHandle, PhysicalMemoryPool
+from .virtual import Reservation, VirtualAddressSpace
+
+#: Per-API latency in seconds, keyed by page-group size, from paper Table 3.
+#: ``None`` entries mean the API is not offered at that granularity.
+API_LATENCY: Dict[str, Dict[int, Optional[float]]] = {
+    "reserve": {64 * KB: us(18), 128 * KB: us(17), 256 * KB: us(16), 2 * MB: us(2)},
+    "create": {64 * KB: us(1.7), 128 * KB: us(2), 256 * KB: us(2.1), 2 * MB: us(29)},
+    "map": {64 * KB: us(8), 128 * KB: us(8.5), 256 * KB: us(9), 2 * MB: us(2)},
+    "set_access": {64 * KB: None, 128 * KB: None, 256 * KB: None, 2 * MB: us(38)},
+    "unmap": {64 * KB: None, 128 * KB: None, 256 * KB: None, 2 * MB: us(34)},
+    "release": {64 * KB: us(2), 128 * KB: us(3), 256 * KB: us(4), 2 * MB: us(23)},
+    "free": {64 * KB: us(35), 128 * KB: us(35), 256 * KB: us(35), 2 * MB: us(1)},
+}
+
+
+def api_latency(api: str, page_group_size: int) -> float:
+    """Latency in seconds of one ``api`` call at ``page_group_size``."""
+    try:
+        per_size = API_LATENCY[api]
+    except KeyError:
+        raise ConfigError(f"unknown VMM API {api!r}") from None
+    latency = per_size.get(page_group_size)
+    if latency is None:
+        raise ConfigError(
+            f"API {api!r} not available at page-group size {page_group_size}"
+        )
+    return latency
+
+
+#: Effective cost of growing one mapped page-group, per granularity:
+#: allocate a handle and map it (map+set_access for stock CUDA).
+def map_cost(page_group_size: int) -> float:
+    """Seconds to create + map one page-group of ``page_group_size``."""
+    cost = api_latency("create", page_group_size) + api_latency(
+        "map", page_group_size
+    )
+    if page_group_size == 2 * MB:
+        cost += api_latency("set_access", 2 * MB)
+    return cost
+
+
+def unmap_cost(page_group_size: int) -> float:
+    """Seconds to unmap + release one page-group of ``page_group_size``."""
+    cost = api_latency("release", page_group_size)
+    if page_group_size == 2 * MB:
+        cost += api_latency("unmap", 2 * MB)
+    return cost
+
+
+LatencySink = Callable[[float], None]
+
+
+@dataclass
+class VmmCallStats:
+    """Counters of VMM API invocations (used by ablation experiments)."""
+
+    reserve: int = 0
+    create: int = 0
+    map: int = 0
+    set_access: int = 0
+    unmap: int = 0
+    release: int = 0
+    free: int = 0
+    charged_seconds: float = 0.0
+
+    @property
+    def total_calls(self) -> int:
+        """All API invocations combined."""
+        return (
+            self.reserve
+            + self.create
+            + self.map
+            + self.set_access
+            + self.unmap
+            + self.release
+            + self.free
+        )
+
+
+class CudaVmm:
+    """The stock CUDA VMM driver interface (2MB granularity only)."""
+
+    #: Granularity the stock APIs operate at.
+    granularity: int = 2 * MB
+
+    def __init__(
+        self,
+        pool: PhysicalMemoryPool,
+        va_space: VirtualAddressSpace,
+        clock: SimClock,
+    ) -> None:
+        self._pool = pool
+        self._va = va_space
+        self._clock = clock
+        self._sink: Optional[LatencySink] = None
+        self.stats = VmmCallStats()
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    def _charge(self, api: str, page_group_size: Optional[int] = None) -> None:
+        latency = api_latency(api, page_group_size or self.granularity)
+        self.stats.charged_seconds += latency
+        if self._sink is not None:
+            self._sink(latency)
+        else:
+            self._clock.advance(latency)
+
+    @contextmanager
+    def charge_to(self, sink: LatencySink) -> Iterator[None]:
+        """Redirect latency charges to ``sink`` within the block.
+
+        Used by the background allocation thread: work done there costs
+        real time, but not *critical-path* time, unless it exceeds the
+        duration of the overlapped compute.
+        """
+        previous = self._sink
+        self._sink = sink
+        try:
+            yield
+        finally:
+            self._sink = previous
+
+    def _check_granularity(self, size: int) -> None:
+        if not is_aligned(size, self.granularity):
+            raise ConfigError(
+                f"size {size} not a multiple of CUDA granularity "
+                f"{self.granularity} (stock cuMem* APIs support only 2MB pages)"
+            )
+
+    # ------------------------------------------------------------------
+    # API surface (cuMem*)
+    # ------------------------------------------------------------------
+    def mem_address_reserve(self, size: int) -> Reservation:
+        """``cuMemAddressReserve``: carve a virtual range, no backing."""
+        self._check_granularity(size)
+        self.stats.reserve += 1
+        self._charge("reserve")
+        return self._va.reserve(size)
+
+    def mem_create(self, size: Optional[int] = None) -> PhysicalHandle:
+        """``cuMemCreate``: allocate a physical page-group (2MB default)."""
+        size = size if size is not None else self.granularity
+        self._check_granularity(size)
+        self.stats.create += 1
+        self._charge("create")
+        return self._pool.allocate(size)
+
+    def mem_map(
+        self, reservation: Reservation, offset: int, handle: PhysicalHandle
+    ) -> None:
+        """``cuMemMap``: attach a handle at ``offset``; access still disabled."""
+        self.stats.map += 1
+        self._charge("map")
+        reservation.map(offset, handle)
+
+    def mem_set_access(self, reservation: Reservation, offset: int, size: int) -> None:
+        """``cuMemSetAccess``: enable access to a mapped sub-range."""
+        if not reservation.is_range_backed(offset, size):
+            raise MappingError(
+                f"cuMemSetAccess over unmapped range [{offset}, {offset + size})"
+            )
+        self.stats.set_access += 1
+        self._charge("set_access")
+
+    def mem_unmap(self, reservation: Reservation, offset: int) -> PhysicalHandle:
+        """``cuMemUnmap``: detach the mapping starting at ``offset``."""
+        self.stats.unmap += 1
+        self._charge("unmap")
+        return reservation.unmap(offset).handle
+
+    def mem_release(self, handle: PhysicalHandle) -> None:
+        """``cuMemRelease``: free the physical page-group."""
+        self.stats.release += 1
+        self._charge("release")
+        self._pool.release(handle)
+
+    def mem_address_free(self, reservation: Reservation) -> None:
+        """``cuMemAddressFree``: release the virtual range."""
+        self.stats.free += 1
+        self._charge("free")
+        self._va.free(reservation)

@@ -1,0 +1,50 @@
+"""Attention-kernel latency models for all libraries the paper evaluates."""
+
+from .base import AttentionKernel, KernelInfo, KvLayout, Phase
+from .costmodel import (
+    EFF_ATTN_PREFILL,
+    EFF_DECODE_KV,
+    EFF_DECODE_WEIGHTS,
+    EFF_LINEAR_DECODE,
+    EFF_LINEAR_PREFILL,
+    Roofline,
+    attention_decode_time,
+    attention_prefill_time,
+    interp_factor,
+    linear_decode_time,
+    linear_prefill_time,
+)
+from .fa2 import FlashAttention2, FlashAttention2Paged, fa2_prefill_efficiency
+from .fa3 import FlashAttention3
+from .fi import FlashInfer, FlashInferPaged
+from .registry import get_kernel, list_kernels, register_kernel
+from .vllm_paged import VllmPaged, vllm_gqa_penalty
+
+__all__ = [
+    "AttentionKernel",
+    "EFF_ATTN_PREFILL",
+    "EFF_DECODE_KV",
+    "EFF_DECODE_WEIGHTS",
+    "EFF_LINEAR_DECODE",
+    "EFF_LINEAR_PREFILL",
+    "FlashAttention2",
+    "FlashAttention2Paged",
+    "FlashAttention3",
+    "FlashInfer",
+    "FlashInferPaged",
+    "KernelInfo",
+    "KvLayout",
+    "Phase",
+    "Roofline",
+    "VllmPaged",
+    "attention_decode_time",
+    "attention_prefill_time",
+    "fa2_prefill_efficiency",
+    "get_kernel",
+    "interp_factor",
+    "linear_decode_time",
+    "linear_prefill_time",
+    "list_kernels",
+    "register_kernel",
+    "vllm_gqa_penalty",
+]

@@ -1,0 +1,48 @@
+"""Kernel registry: look attention kernels up by name.
+
+Names match the configuration labels the paper's figures use
+(``fa2``/``fa2_paged``/``fi``/``fi_paged``/``vllm_paged``/``fa3``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from ..errors import KernelError
+from ..gpu.spec import GpuSpec
+from .base import AttentionKernel
+from .fa2 import FlashAttention2, FlashAttention2Paged
+from .fa3 import FlashAttention3
+from .fi import FlashInfer, FlashInferPaged
+from .vllm_paged import VllmPaged
+
+_KERNELS: Dict[str, Type[AttentionKernel]] = {
+    "fa2": FlashAttention2,
+    "fa2_paged": FlashAttention2Paged,
+    "fi": FlashInfer,
+    "fi_paged": FlashInferPaged,
+    "vllm_paged": VllmPaged,
+    "fa3": FlashAttention3,
+}
+
+
+def get_kernel(name: str, gpu: GpuSpec) -> AttentionKernel:
+    """Instantiate the kernel model ``name`` for ``gpu``."""
+    try:
+        kernel_cls = _KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS))
+        raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
+    return kernel_cls(gpu)
+
+
+def list_kernels() -> Tuple[str, ...]:
+    """Names of all registered kernels."""
+    return tuple(sorted(_KERNELS))
+
+
+def register_kernel(name: str, factory: Type[AttentionKernel]) -> None:
+    """Register a custom kernel model (extension hook, used in tests)."""
+    if name in _KERNELS:
+        raise KernelError(f"kernel {name!r} already registered")
+    _KERNELS[name] = factory

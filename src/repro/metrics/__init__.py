@@ -1,0 +1,30 @@
+"""Metrics: iteration records, run reports, and statistics helpers."""
+
+from .ascii_plot import bar_chart, cdf_plot, normalized_bars, sparkline
+from .collector import IterationRecord, MetricsCollector, RunReport
+from .stats import (
+    cdf_at,
+    cdf_points,
+    geomean,
+    mean,
+    median,
+    percentile,
+    ratio,
+)
+
+__all__ = [
+    "IterationRecord",
+    "MetricsCollector",
+    "RunReport",
+    "bar_chart",
+    "cdf_at",
+    "cdf_plot",
+    "normalized_bars",
+    "sparkline",
+    "cdf_points",
+    "geomean",
+    "mean",
+    "median",
+    "percentile",
+    "ratio",
+]

@@ -1,0 +1,130 @@
+"""Terminal rendering of experiment series (no plotting dependencies).
+
+The experiment drivers print tables; these helpers additionally render
+the *shapes* the paper's figures show — bar groups, sparklines, CDF
+staircases — so a terminal run of ``python -m repro run fig10`` conveys
+the same visual comparison as the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    if not values:
+        raise ValueError("cannot sparkline an empty series")
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _BLOCKS[4] * len(values)
+    glyphs = []
+    for value in values:
+        index = 1 + round((value - low) / span * (len(_BLOCKS) - 2))
+        glyphs.append(_BLOCKS[index])
+    return "".join(glyphs)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars with labels and values, scaled to the maximum.
+
+    ``items`` is (label, value) pairs; returns a multi-line string.
+    """
+    if not items:
+        raise ValueError("cannot chart an empty series")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(value for _, value in items)
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "█" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{label:>{label_width}} │{bar:<{width}} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 10,
+) -> str:
+    """Overlayed empirical CDFs, one glyph per series.
+
+    ``series`` maps a label to its raw samples. X spans the pooled
+    range; each column shows, per series, the row closest to its
+    cumulative fraction at that x. Later series overwrite earlier ones
+    where they collide (like overlaid plot lines).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if any(not values for values in series.values()):
+        raise ValueError("every series needs samples")
+    glyphs = "*o+x#@"
+    pooled = [v for values in series.values() for v in values]
+    low, high = min(pooled), max(pooled)
+    span = (high - low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        ordered = sorted(values)
+        n = len(ordered)
+        for column in range(width):
+            x = low + span * (column + 1) / width
+            fraction = sum(1 for v in ordered if v <= x) / n
+            row = min(height - 1, int(fraction * height))
+            grid[height - 1 - row][column] = glyphs[index % len(glyphs)]
+    lines = ["1.0 ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    ┤" + "".join(row))
+    lines.append("0.0 ┤" + "".join(grid[-1]))
+    lines.append("    └" + "─" * width)
+    lines.append(f"     {low:<12.4g}{'':^{max(0, width - 24)}}{high:>12.4g}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f"     {legend}")
+    return "\n".join(lines)
+
+
+def normalized_bars(
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    baseline: str,
+    width: int = 24,
+) -> str:
+    """Grouped bars normalized to a baseline column (Figure 2/3 style).
+
+    ``groups`` is (group label, {series: value}); every value is shown
+    relative to the group's ``baseline`` series.
+    """
+    if not groups:
+        raise ValueError("no groups to plot")
+    lines: List[str] = []
+    for group_label, values in groups:
+        if baseline not in values:
+            raise ValueError(f"group {group_label!r} lacks {baseline!r}")
+        base = values[baseline]
+        if base <= 0:
+            raise ValueError(f"baseline of {group_label!r} must be positive")
+        lines.append(f"{group_label}:")
+        peak = max(values.values()) / base
+        for name, value in values.items():
+            ratio = value / base
+            bar = "█" * max(1, round(ratio / peak * width))
+            lines.append(f"  {name:>16} │{bar} {ratio:.2f}x")
+    return "\n".join(lines)

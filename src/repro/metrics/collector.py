@@ -1,0 +1,110 @@
+"""Per-iteration and per-request metrics collected by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..serving.request import Request
+from .stats import mean, percentile
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One engine iteration's accounting."""
+
+    start_time: float
+    phase: str  # "prefill" or "decode"
+    batch_size: int
+    #: Total wall-clock of the iteration (seconds).
+    latency: float
+    #: Seconds of synchronous memory allocation inside the iteration.
+    alloc_sync: float
+    #: New tokens produced by this iteration.
+    tokens: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates iteration records and computes summary statistics."""
+
+    iterations: List[IterationRecord] = field(default_factory=list)
+
+    def record(self, record: IterationRecord) -> None:
+        """Append one iteration record."""
+        self.iterations.append(record)
+
+    # ------------------------------------------------------------------
+    def of_phase(self, phase: str) -> List[IterationRecord]:
+        """Records of one phase."""
+        return [r for r in self.iterations if r.phase == phase]
+
+    def decode_latencies(self) -> List[float]:
+        """Latency series of decode iterations (the Figure 12 series)."""
+        return [r.latency for r in self.of_phase("decode")]
+
+    def mean_decode_latency(self) -> float:
+        """Mean decode iteration latency."""
+        return mean(self.decode_latencies())
+
+    def decode_throughput(self) -> float:
+        """Generated tokens per second over all decode iterations."""
+        records = self.of_phase("decode")
+        total_time = sum(r.latency for r in records)
+        total_tokens = sum(r.tokens for r in records)
+        if total_time == 0:
+            raise ValueError("no decode iterations recorded")
+        return total_tokens / total_time
+
+    def prefill_throughput(self) -> float:
+        """Prompt tokens processed per second over prefill iterations."""
+        records = self.of_phase("prefill")
+        total_time = sum(r.latency for r in records)
+        total_tokens = sum(r.tokens for r in records)
+        if total_time == 0:
+            raise ValueError("no prefill iterations recorded")
+        return total_tokens / total_time
+
+    def alloc_spike_iterations(self, threshold: float) -> int:
+        """Decode iterations whose sync-allocation time exceeds threshold."""
+        return sum(
+            1 for r in self.of_phase("decode") if r.alloc_sync > threshold
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Final report of one engine run."""
+
+    requests: Sequence[Request]
+    metrics: MetricsCollector
+    start_time: float
+    end_time: float
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock of the whole run."""
+        return self.end_time - self.start_time
+
+    @property
+    def finished_requests(self) -> List[Request]:
+        """Requests that completed."""
+        return [r for r in self.requests if r.is_finished]
+
+    def requests_per_minute(self) -> float:
+        """Offline serving throughput (the Figure 9/11 metric)."""
+        if self.makespan == 0:
+            raise ValueError("empty run")
+        return 60.0 * len(self.finished_requests) / self.makespan
+
+    def e2e_latencies(self) -> List[float]:
+        """Per-request end-to-end latency (the Figure 10 metric)."""
+        return [r.e2e_latency for r in self.finished_requests]
+
+    def median_latency(self) -> float:
+        """Median request execution latency."""
+        return percentile(self.e2e_latencies(), 50.0)
+
+    def p99_latency(self) -> float:
+        """Tail request execution latency."""
+        return percentile(self.e2e_latencies(), 99.0)

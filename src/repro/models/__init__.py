@@ -1,0 +1,29 @@
+"""Model configurations, tensor-parallel sharding, and the model zoo."""
+
+from .config import ModelConfig
+from .shard import ShardedModel
+from .zoo import (
+    EVALUATED_MODELS,
+    GPT3_175B,
+    LLAMA3_70B,
+    LLAMA3_8B,
+    YI_34B,
+    YI_6B,
+    get_model,
+    list_models,
+    paper_deployment,
+)
+
+__all__ = [
+    "EVALUATED_MODELS",
+    "GPT3_175B",
+    "LLAMA3_70B",
+    "LLAMA3_8B",
+    "ModelConfig",
+    "ShardedModel",
+    "YI_34B",
+    "YI_6B",
+    "get_model",
+    "list_models",
+    "paper_deployment",
+]

@@ -1,0 +1,123 @@
+"""The model zoo: configurations of every model the paper evaluates.
+
+Architectural parameters come from the models' published configs:
+
+* Yi-6B-200K  — 32 layers, 32 Q heads, 4 KV heads, d=128, 200K context.
+* Llama-3-8B  — 32 layers, 32 Q heads, 8 KV heads, d=128 (the paper runs
+  long-context experiments up to 192K on it, so we configure 200K max
+  context to match the evaluation's sweep range).
+* Yi-34B-200K — 60 layers, 56 Q heads, 8 KV heads, d=128, 200K context.
+* Llama-3-70B and GPT-3-175B appear in the page-size discussion (S7.6.3)
+  and are included for the extended page-size experiments.
+
+Derived sanity anchors from the paper that these configs reproduce:
+
+* per-token KV cache: Yi-6B 64KB, Llama-3-8B 128KB, Yi-34B 240KB (S4).
+* Yi-34B TP-2: H=4, D=128, P=2, L=200K gives S=200MB (S5.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from .config import ModelConfig
+from .shard import ShardedModel
+
+YI_6B = ModelConfig(
+    name="Yi-6B",
+    n_layers=32,
+    n_q_heads=32,
+    n_kv_heads=4,
+    head_dim=128,
+    hidden_size=4096,
+    intermediate_size=11008,
+    vocab_size=64000,
+    max_context=200_000,
+)
+
+LLAMA3_8B = ModelConfig(
+    name="Llama-3-8B",
+    n_layers=32,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=128,
+    hidden_size=4096,
+    intermediate_size=14336,
+    vocab_size=128256,
+    max_context=200_000,
+)
+
+YI_34B = ModelConfig(
+    name="Yi-34B",
+    n_layers=60,
+    n_q_heads=56,
+    n_kv_heads=8,
+    head_dim=128,
+    hidden_size=7168,
+    intermediate_size=20480,
+    vocab_size=64000,
+    max_context=200_000,
+)
+
+LLAMA3_70B = ModelConfig(
+    name="Llama-3-70B",
+    n_layers=80,
+    n_q_heads=64,
+    n_kv_heads=8,
+    head_dim=128,
+    hidden_size=8192,
+    intermediate_size=28672,
+    vocab_size=128256,
+    max_context=200_000,
+)
+
+GPT3_175B = ModelConfig(
+    name="GPT-3-175B",
+    n_layers=96,
+    n_q_heads=96,
+    n_kv_heads=96,
+    head_dim=128,
+    hidden_size=12288,
+    intermediate_size=49152,
+    vocab_size=50257,
+    max_context=200_000,
+)
+
+_ZOO: Dict[str, ModelConfig] = {
+    m.name: m
+    for m in (YI_6B, LLAMA3_8B, YI_34B, LLAMA3_70B, GPT3_175B)
+}
+
+#: The three models + hardware of the paper's main evaluation (Table 5).
+EVALUATED_MODELS: Tuple[Tuple[ModelConfig, int], ...] = (
+    (YI_6B, 1),  # 1x A100
+    (LLAMA3_8B, 2),  # 2x A100, TP-2
+    (YI_34B, 2),  # 2x A100, TP-2
+)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model config by name."""
+    try:
+        return _ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(_ZOO))
+        raise ConfigError(f"unknown model {name!r}; known: {known}") from None
+
+
+def list_models() -> Tuple[str, ...]:
+    """Names of all registered models."""
+    return tuple(sorted(_ZOO))
+
+
+def paper_deployment(model: ModelConfig | str) -> ShardedModel:
+    """The TP degree the paper's evaluation uses for ``model``."""
+    config = get_model(model) if isinstance(model, str) else model
+    for evaluated, tp_degree in EVALUATED_MODELS:
+        if evaluated.name == config.name:
+            return ShardedModel(config, tp_degree)
+    raise ConfigError(
+        f"{config.name} is not part of the paper's main evaluation; "
+        f"construct ShardedModel explicitly"
+    )

@@ -1,0 +1,16 @@
+"""PagedAttention baseline: user-space block pool and Block-Table costs."""
+
+from .block_manager import BlockAllocation, BlockManager
+from .block_table import (
+    BLOCK_TABLE_COSTS,
+    BlockTableCost,
+    block_table_cost,
+)
+
+__all__ = [
+    "BLOCK_TABLE_COSTS",
+    "BlockAllocation",
+    "BlockManager",
+    "BlockTableCost",
+    "block_table_cost",
+]

@@ -1,0 +1,125 @@
+"""Block-Table preparation and KV append: PagedAttention's CPU overheads.
+
+PagedAttention requires the serving framework to hand the kernel a
+Block-Table every iteration. The paper measures this CPU work (S3.3.2):
+
+* vLLM materializes a dense 2D tensor padded to the longest request, so
+  preparation cost grows with ``max_num_blocks x batch_size``; it
+  contributed up to 30% of decode iteration latency before a fix, and
+  ~10% after. We model the post-fix cost.
+* FlashInfer builds a *compressed* Block-Table instead, paying a
+  per-block cost plus per-iteration object creation/deletion churn
+  (S7.1: "creation and deletion of a few objects ... in every
+  iteration").
+* FlashAttention-2 uses a simple lookup table; vLLM ships an optimized
+  CUDA copy kernel for appending K/V into its blocks, so its append
+  overhead is negligible. FlashInfer appends one block at a time
+  (S7.1), which costs per-block work during prefill. vAttention appends
+  with a single contiguous tensor copy and needs no Block-Table at all.
+
+Constants below are calibrated to those percentages at the paper's batch
+compositions (e.g. ~10% of a ~25ms decode iteration at batch 32 with 16K
+contexts and vLLM's block size 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..units import ceil_div, us
+
+#: Seconds per Block-Table entry for vLLM's padded 2D-tensor layout.
+#: batch 32 x (16384/16 = 1024 blocks) = 32768 entries -> ~2.5ms (~10% of
+#: the Table 7 iteration latency), i.e. ~75ns/entry.
+VLLM_PER_ENTRY = 75e-9
+
+#: Seconds per (actual, unpadded) block for FA2's simple lookup table.
+FA2_PER_BLOCK = 20e-9
+
+#: Seconds per block for FlashInfer's compressed Block-Table build.
+FI_PER_BLOCK = 25e-9
+
+#: Per-iteration object creation/deletion churn of FlashInfer (S7.1).
+FI_OBJECT_CHURN = us(120)
+
+#: Per-block, per-tensor cost of FlashInfer's one-block-at-a-time KV
+#: append during prefill (launch + slicing for each block of each
+#: layer's K and V tensor). Calibrated from Table 6's non-attention
+#: completion-time gap between FI_Paged and FI_vAttention: ~3.2s at
+#: 192K context for the 32-layer models (12288 blocks x 64 tensors)
+#: and ~6s for 60-layer Yi-34B -> ~4us per block per tensor.
+FI_APPEND_PER_BLOCK = us(4)
+
+
+@dataclass(frozen=True)
+class BlockTableCost:
+    """CPU-time model for one paged library's per-iteration framework work."""
+
+    library: str
+    per_entry_padded: float = 0.0
+    per_block: float = 0.0
+    per_iteration: float = 0.0
+    append_per_block: float = 0.0
+
+    def prepare_seconds(
+        self, block_counts: Sequence[int]
+    ) -> float:
+        """Seconds to prepare the Block-Table for one iteration.
+
+        ``block_counts`` is the per-request number of KV blocks in the
+        batch. The padded layout costs ``max * batch`` entries; the
+        compressed/simple layouts cost the true total.
+        """
+        if not block_counts:
+            return 0.0
+        if any(count < 0 for count in block_counts):
+            raise ConfigError("block counts cannot be negative")
+        cost = self.per_iteration
+        if self.per_entry_padded:
+            cost += self.per_entry_padded * max(block_counts) * len(block_counts)
+        if self.per_block:
+            cost += self.per_block * sum(block_counts)
+        return cost
+
+    def append_seconds(
+        self, n_tokens: int, block_size: int, n_tensors: int = 1
+    ) -> float:
+        """Seconds to append ``n_tokens`` of new prefill K/V into blocks.
+
+        The append repeats for each of the ``n_tensors`` per-layer K/V
+        tensors (2N for an N-layer worker). Decode-phase appends go
+        through the optimized single-kernel copy path shared by all
+        backends and are not charged here.
+        """
+        if not self.append_per_block:
+            return 0.0
+        blocks = ceil_div(max(n_tokens, 0), block_size)
+        return self.append_per_block * blocks * n_tensors
+
+
+#: Per-library cost models, keyed by the kernel library name.
+BLOCK_TABLE_COSTS = {
+    "vLLM": BlockTableCost(library="vLLM", per_entry_padded=VLLM_PER_ENTRY),
+    "FlashAttention-2": BlockTableCost(
+        library="FlashAttention-2", per_block=FA2_PER_BLOCK
+    ),
+    "FlashInfer": BlockTableCost(
+        library="FlashInfer",
+        per_block=FI_PER_BLOCK,
+        per_iteration=FI_OBJECT_CHURN,
+        append_per_block=FI_APPEND_PER_BLOCK,
+    ),
+}
+
+
+def block_table_cost(library: str) -> BlockTableCost:
+    """The Block-Table cost model of ``library``."""
+    try:
+        return BLOCK_TABLE_COSTS[library]
+    except KeyError:
+        known = ", ".join(sorted(BLOCK_TABLE_COSTS))
+        raise ConfigError(
+            f"no Block-Table model for library {library!r}; known: {known}"
+        ) from None

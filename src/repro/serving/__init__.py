@@ -1,0 +1,38 @@
+"""Serving framework: requests, memory backends, scheduler, engine."""
+
+from .engine import (
+    DEFAULT_WORKSPACE_BYTES,
+    ITERATION_CPU_OVERHEAD,
+    PER_SEQ_CPU_OVERHEAD,
+    EngineConfig,
+    LLMEngine,
+)
+from .memory import (
+    MemoryBackend,
+    PagedMemory,
+    StaticMemory,
+    UvmMemory,
+    VAttentionMemory,
+)
+from .request import Request, RequestState
+from .scheduler import FcfsScheduler, peak_batch_size
+from .swap import HostSwapSpace, SwapStats
+
+__all__ = [
+    "DEFAULT_WORKSPACE_BYTES",
+    "EngineConfig",
+    "FcfsScheduler",
+    "HostSwapSpace",
+    "ITERATION_CPU_OVERHEAD",
+    "LLMEngine",
+    "MemoryBackend",
+    "PER_SEQ_CPU_OVERHEAD",
+    "PagedMemory",
+    "Request",
+    "RequestState",
+    "StaticMemory",
+    "SwapStats",
+    "UvmMemory",
+    "VAttentionMemory",
+    "peak_batch_size",
+]

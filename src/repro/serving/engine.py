@@ -1,0 +1,514 @@
+"""Continuous-batching LLM serving engine (paper Algorithm 1).
+
+The engine mirrors vLLM v0.2.7's iteration-level scheduler, which the
+paper uses as the common serving framework for every configuration:
+
+* FCFS admission whenever the memory backend can hold the new prompt,
+* a *prefill* iteration processes one admitted prompt in full,
+* a *decode* iteration advances every running request by one token,
+* on memory exhaustion, the most recently admitted request is preempted
+  and recomputed later (vLLM's default policy, paper S5.3.3).
+
+Iteration latency = memory preparation (synchronous allocation, if any)
++ linear operators + attention kernel + framework CPU work (Block-Table
+preparation, KV append, scheduler/sampler overhead). Everything advances
+one shared simulated clock, so request latencies and throughput come out
+of clock arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence
+
+from ..core.config import VAttentionConfig
+from ..errors import AllocationFailed, ConfigError, SchedulingError
+from ..gpu.device import Device
+from ..gpu.spec import GpuSpec
+from ..kernels.base import AttentionKernel, KvLayout
+from ..kernels.costmodel import (
+    EFF_DECODE_WEIGHTS,
+    Roofline,
+    linear_decode_time,
+    linear_prefill_time,
+)
+from ..kernels.registry import get_kernel
+from ..metrics.collector import IterationRecord, MetricsCollector, RunReport
+from ..models.shard import ShardedModel
+from ..units import GB, MB, us
+from .memory import (
+    MemoryBackend,
+    PagedMemory,
+    StaticMemory,
+    UvmMemory,
+    VAttentionMemory,
+)
+from .request import Request, RequestState
+from .swap import HostSwapSpace
+
+#: Python/scheduler/sampler CPU cost per iteration (vLLM's Python loop).
+ITERATION_CPU_OVERHEAD = 2e-3
+
+#: Per-sequence CPU cost per iteration (sampling, detokenization, state).
+PER_SEQ_CPU_OVERHEAD = us(40)
+
+#: Activation / workspace memory reserved per worker besides weights.
+DEFAULT_WORKSPACE_BYTES = 4 * GB
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of one serving-engine instance.
+
+    ``memory_backend`` selects the allocation strategy; kernel names
+    select the attention latency models. Consistency between kernel
+    layout and backend layout is validated at construction — e.g.
+    running a non-paged decode kernel on a PagedAttention pool is
+    impossible, which is the paper's portability argument in code.
+    """
+
+    shard: ShardedModel
+    gpu: GpuSpec
+    memory_backend: str  # "vattention" | "paged" | "static"
+    prefill_kernel: str = "fa2"
+    decode_kernel: str = "fa2"
+    max_batch_size: int = 32
+    #: Paged backends: KV block size in tokens.
+    block_size: int = 16
+    #: vAttention: physical allocation granularity.
+    page_group_size: int = 2 * MB
+    #: vAttention optimization switches (ablations).
+    deferred_reclamation: bool = True
+    eager_allocation: bool = True
+    overlap_allocation: bool = True
+    tensor_slicing: bool = False
+    workspace_bytes: int = DEFAULT_WORKSPACE_BYTES
+    #: Cap the per-worker KV cache budget (None = all memory left after
+    #: weights + workspace). Capacity experiments use this to match a
+    #: deployment's effective serving budget.
+    kv_budget_bytes: Optional[int] = None
+    #: What to do with preemption victims: "recompute" (vLLM default,
+    #: the paper's behaviour) or "swap" (the S5.3.3 future-work policy:
+    #: KV cache moves to host memory and back over PCIe).
+    preemption_mode: str = "recompute"
+    #: Sarathi-style chunked prefill (paper ref [36]): process prompts
+    #: in chunks of this many tokens, piggybacked onto decode
+    #: iterations so ongoing decodes never stall behind a long prompt.
+    #: None = monolithic prefill (the paper's evaluation setting).
+    prefill_chunk_size: Optional[int] = None
+    #: Pinned host memory available for swapped KV caches (swap mode).
+    swap_host_bytes: int = 64 * GB
+    iteration_cpu_overhead: float = ITERATION_CPU_OVERHEAD
+    per_seq_cpu_overhead: float = PER_SEQ_CPU_OVERHEAD
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.memory_backend not in ("vattention", "paged", "static", "uvm"):
+            raise ConfigError(
+                f"unknown memory backend {self.memory_backend!r}"
+            )
+        if self.preemption_mode not in ("recompute", "swap"):
+            raise ConfigError(
+                f"unknown preemption mode {self.preemption_mode!r}"
+            )
+        if self.prefill_chunk_size is not None and self.prefill_chunk_size <= 0:
+            raise ConfigError("prefill_chunk_size must be positive")
+        if self.max_batch_size <= 0:
+            raise ConfigError("max_batch_size must be positive")
+
+
+class LLMEngine:
+    """Discrete-event serving engine over one representative worker.
+
+    Tensor-parallel workers execute in lock-step with identical memory
+    decisions, so simulating worker 0 yields deployment-level latencies;
+    the :class:`~repro.models.shard.ShardedModel` already encodes the
+    per-worker shapes.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+        shard = config.shard
+        reserved = shard.weight_bytes_per_worker + config.workspace_bytes
+        if config.kv_budget_bytes is not None:
+            reserved = max(
+                reserved, config.gpu.memory_bytes - config.kv_budget_bytes
+            )
+        if reserved >= config.gpu.memory_bytes:
+            raise ConfigError(
+                f"{shard}: weights + workspace exceed {config.gpu.name} memory"
+            )
+        self.device = Device(config.gpu, reserved_bytes=reserved)
+        self.clock = self.device.clock
+
+        self.prefill_kernel: AttentionKernel = get_kernel(
+            config.prefill_kernel, config.gpu
+        )
+        self.decode_kernel: AttentionKernel = get_kernel(
+            config.decode_kernel, config.gpu
+        )
+        self._validate_kernel_layout()
+        self.memory: MemoryBackend = self._build_memory()
+        self.swap_space: Optional[HostSwapSpace] = (
+            HostSwapSpace(capacity=config.swap_host_bytes)
+            if config.preemption_mode == "swap"
+            else None
+        )
+
+        self.metrics = MetricsCollector()
+        self._pending: Deque[Request] = deque()  # future arrivals
+        self._waiting: Deque[Request] = deque()  # arrived, not admitted
+        self._running: List[Request] = []
+        self._all_requests: List[Request] = []
+
+    # ------------------------------------------------------------------
+    def _build_memory(self) -> MemoryBackend:
+        config = self.config
+        if config.memory_backend == "vattention":
+            va_config = VAttentionConfig(
+                shard=config.shard,
+                max_batch_size=config.max_batch_size,
+                page_group_size=config.page_group_size,
+                tensor_slicing=config.tensor_slicing,
+                deferred_reclamation=config.deferred_reclamation,
+                eager_allocation=config.eager_allocation,
+                overlap_allocation=config.overlap_allocation,
+            )
+            return VAttentionMemory(self.device, va_config)
+        if config.memory_backend == "paged":
+            return PagedMemory(
+                self.device,
+                config.shard,
+                block_size=config.block_size,
+                library=self.decode_kernel.info.library,
+            )
+        if config.memory_backend == "uvm":
+            return UvmMemory(
+                self.device, config.shard, config.max_batch_size
+            )
+        return StaticMemory(
+            self.device, config.shard, config.max_batch_size
+        )
+
+    def _validate_kernel_layout(self) -> None:
+        backend_layout = (
+            KvLayout.PAGED
+            if self.config.memory_backend == "paged"
+            else KvLayout.CONTIGUOUS
+        )
+        decode_layout = self.decode_kernel.info.layout
+        if decode_layout is not backend_layout:
+            raise ConfigError(
+                f"decode kernel {self.decode_kernel.info.name} expects a "
+                f"{decode_layout.value} KV cache but the "
+                f"{self.config.memory_backend} backend provides "
+                f"{backend_layout.value} — a kernel without paging support "
+                f"cannot run over a PagedAttention pool (the paper's "
+                f"portability argument), and vice versa"
+            )
+        # A *non-paged prefill kernel over paged memory* is permitted:
+        # vLLM computes prefill attention contiguously and copies results
+        # into blocks (it has no paged prefill kernel, S7.2). The append
+        # overhead of that copy is modeled by the backend.
+        if (
+            self.prefill_kernel.is_paged
+            and backend_layout is not KvLayout.PAGED
+        ):
+            raise ConfigError(
+                f"paged prefill kernel {self.prefill_kernel.info.name} "
+                f"cannot read a contiguous KV cache"
+            )
+
+    # ------------------------------------------------------------------
+    # Submission and the main loop
+    # ------------------------------------------------------------------
+    def submit(self, requests: Sequence[Request]) -> None:
+        """Queue requests; they become visible at their arrival times."""
+        ordered = sorted(requests, key=lambda r: r.arrival_time)
+        for request in ordered:
+            self._pending.append(request)
+            self._all_requests.append(request)
+
+    def run(self, max_iterations: Optional[int] = None) -> RunReport:
+        """Serve all submitted requests; returns the run report."""
+        start = self.clock.now
+        iterations = 0
+        while self._has_work():
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            self._ingest_arrivals()
+            self._admit()
+            if not self._running:
+                if not self._advance_to_next_arrival():
+                    break
+                continue
+            prefill = next(
+                (r for r in self._running if r.needs_prefill), None
+            )
+            if prefill is not None and self.config.prefill_chunk_size:
+                self._run_mixed(prefill)
+            elif prefill is not None:
+                self._run_prefill(prefill)
+            else:
+                self._run_decode()
+            iterations += 1
+        return RunReport(
+            requests=list(self._all_requests),
+            metrics=self.metrics,
+            start_time=start,
+            end_time=self.clock.now,
+        )
+
+    def partial_report(self) -> RunReport:
+        """Report of everything served so far.
+
+        Useful when a run aborts (e.g. the UVM backend exhausting
+        memory it cannot reclaim): the requests completed before the
+        failure are still a meaningful result.
+        """
+        return RunReport(
+            requests=list(self._all_requests),
+            metrics=self.metrics,
+            start_time=0.0,
+            end_time=self.clock.now,
+        )
+
+    def _has_work(self) -> bool:
+        return bool(self._pending or self._waiting or self._running)
+
+    def _ingest_arrivals(self) -> None:
+        while self._pending and self._pending[0].arrival_time <= self.clock.now:
+            self._waiting.append(self._pending.popleft())
+
+    def _advance_to_next_arrival(self) -> bool:
+        if not self._pending:
+            return False
+        self.clock.advance_to(self._pending[0].arrival_time)
+        return True
+
+    def _admit(self) -> None:
+        while (
+            self._waiting
+            and len(self._running) < self.config.max_batch_size
+            and self.memory.can_admit(self._waiting[0])
+        ):
+            request = self._waiting.popleft()
+            self.memory.admit(request)
+            if request.swapped:
+                # Restore the KV cache from host memory before the
+                # request re-joins the batch (PCIe transfer).
+                assert self.swap_space is not None
+                self.clock.advance(
+                    self.swap_space.swap_in(request.request_id)
+                )
+                request.swapped = False
+            request.state = RequestState.RUNNING
+            request.admitted_time = self.clock.now
+            self._running.append(request)
+
+    # ------------------------------------------------------------------
+    # Iterations
+    # ------------------------------------------------------------------
+    def _run_prefill(self, request: Request) -> None:
+        shard, gpu = self.config.shard, self.config.gpu
+        before = self.clock.now
+        self._prepare_or_preempt(
+            participants=lambda: (
+                [request] if request.state is RequestState.RUNNING else []
+            ),
+            protected=request,
+        )
+        if request.state is not RequestState.RUNNING:
+            return  # evicted as a last resort; it will retry later
+        alloc_sync = self.clock.now - before
+
+        compute = (
+            linear_prefill_time(shard, gpu, request.prompt_len)
+            + self.prefill_kernel.prefill_time(
+                shard,
+                request.prompt_len,
+                self._block_size_for(self.prefill_kernel),
+            )
+            + self.memory.append_overhead(request.prompt_len)
+            + self.config.iteration_cpu_overhead
+        )
+        self.clock.advance(compute)
+        request.record_prefill(self.clock.now)
+        self.memory.after_iteration(compute)
+        self.metrics.record(
+            IterationRecord(
+                start_time=before,
+                phase="prefill",
+                batch_size=1,
+                latency=self.clock.now - before,
+                alloc_sync=alloc_sync,
+                tokens=request.prompt_len,
+            )
+        )
+        self._retire_finished()
+
+    def _run_mixed(self, prefill: Request) -> None:
+        """One Sarathi-style iteration: a prefill chunk + all decodes.
+
+        The linear operators fuse (the chunk's tokens saturate the GEMMs
+        the decodes would under-utilize); attention runs per phase. The
+        chunk's attention cost is the exact marginal cost of extending
+        the causal prefill: ``T(prefix + chunk) - T(prefix)``.
+        """
+        shard, gpu = self.config.shard, self.config.gpu
+        before = self.clock.now
+        self._prepare_or_preempt(
+            participants=lambda: list(self._running), protected=prefill
+        )
+        if prefill.state is not RequestState.RUNNING:
+            return
+        alloc_sync = self.clock.now - before
+
+        chunk = min(self.config.prefill_chunk_size, prefill.next_chunk_tokens)
+        prefix = prefill.prefilled_tokens
+        decodes = [r for r in self._running if r.prefill_done]
+
+        # Fused linear operators: compute for chunk + batch tokens, but
+        # never cheaper than one pass over the weights.
+        roofline = Roofline(gpu)
+        weight_stream = roofline.memory_time(
+            shard.weight_bytes_per_worker, EFF_DECODE_WEIGHTS
+        )
+        fused_linear = max(
+            linear_prefill_time(shard, gpu, chunk + len(decodes)),
+            weight_stream,
+        )
+        chunk_block = self._block_size_for(self.prefill_kernel)
+        chunk_attention = self.prefill_kernel.prefill_time(
+            shard, prefix + chunk, chunk_block
+        ) - self.prefill_kernel.prefill_time(shard, prefix, chunk_block)
+        decode_attention = 0.0
+        if decodes:
+            decode_attention = self.decode_kernel.decode_time(
+                shard,
+                [r.context_len for r in decodes],
+                self._block_size_for(self.decode_kernel),
+            )
+        compute = (
+            fused_linear
+            + chunk_attention
+            + decode_attention
+            + self.memory.framework_overhead(list(self._running))
+            + self.memory.append_overhead(chunk)
+            + self.config.iteration_cpu_overhead
+            + self.config.per_seq_cpu_overhead * (len(decodes) + 1)
+        )
+        self.clock.advance(compute)
+        prefill.record_prefill_chunk(chunk, self.clock.now)
+        for request in decodes:
+            request.record_decode_token(self.clock.now)
+        self.memory.after_iteration(compute)
+        self.metrics.record(
+            IterationRecord(
+                start_time=before,
+                phase="mixed",
+                batch_size=len(decodes) + 1,
+                latency=self.clock.now - before,
+                alloc_sync=alloc_sync,
+                tokens=chunk + len(decodes),
+            )
+        )
+        self._retire_finished()
+
+    def _run_decode(self) -> None:
+        shard, gpu = self.config.shard, self.config.gpu
+        before = self.clock.now
+        self._prepare_or_preempt(participants=lambda: list(self._running))
+        if not self._running:
+            return
+        alloc_sync = self.clock.now - before
+
+        batch = list(self._running)
+        contexts = [r.context_len for r in batch]
+        compute = (
+            linear_decode_time(shard, gpu, len(batch))
+            + self.decode_kernel.decode_time(
+                shard, contexts, self._block_size_for(self.decode_kernel)
+            )
+            + self.memory.framework_overhead(batch)
+            + self.config.iteration_cpu_overhead
+            + self.config.per_seq_cpu_overhead * len(batch)
+        )
+        self.clock.advance(compute)
+        for request in batch:
+            request.record_decode_token(self.clock.now)
+        self.memory.after_iteration(compute)
+        self.metrics.record(
+            IterationRecord(
+                start_time=before,
+                phase="decode",
+                batch_size=len(batch),
+                latency=self.clock.now - before,
+                alloc_sync=alloc_sync,
+                tokens=len(batch),
+            )
+        )
+        self._retire_finished()
+
+    def _block_size_for(self, kernel: AttentionKernel) -> Optional[int]:
+        if not kernel.is_paged:
+            return None
+        return self.config.block_size
+
+    def _prepare_or_preempt(
+        self,
+        participants: "Callable[[], List[Request]]",
+        protected: Optional[Request] = None,
+    ) -> None:
+        """Run the backend's allocation for this iteration's batch;
+        preempt newest requests on failure.
+
+        ``participants`` is re-evaluated after each preemption (evicted
+        requests leave the batch). ``protected`` (the request a prefill
+        iteration is about to execute) is evicted only as a last resort.
+        """
+        while True:
+            batch = participants()
+            if self.memory.prepare_iteration(batch):
+                return
+            if len(self._running) <= 1:
+                raise AllocationFailed(
+                    "cannot back even a single running request; "
+                    "the workload exceeds device memory"
+                )
+            victim_index = len(self._running) - 1  # newest (vLLM default)
+            if self._running[victim_index] is protected:
+                victim_index -= 1
+            victim = self._running.pop(victim_index)
+            self.memory.release(victim)
+            self._evict(victim)
+            victim.state = RequestState.QUEUED
+            self._waiting.appendleft(victim)
+
+    def _evict(self, victim: Request) -> None:
+        """Apply the configured preemption policy to ``victim``."""
+        nbytes = victim.context_len * self.config.shard.kv_bytes_per_token
+        if (
+            self.swap_space is not None
+            and victim.prefill_done
+            and self.swap_space.can_swap_out(nbytes)
+        ):
+            victim.preempt_swap()
+            self.clock.advance(
+                self.swap_space.swap_out(victim.request_id, nbytes)
+            )
+        else:
+            victim.preempt()
+
+    def _retire_finished(self) -> None:
+        still_running: List[Request] = []
+        for request in self._running:
+            if request.generated >= request.max_new_tokens or (
+                request.context_len >= self.config.shard.max_context
+            ):
+                self.memory.release(request)
+                request.finish(self.clock.now)
+            else:
+                still_running.append(request)
+        self._running = still_running

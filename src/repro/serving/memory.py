@@ -1,0 +1,339 @@
+"""Memory backends: how the serving engine allocates KV cache.
+
+Three strategies, matching the systems the paper compares:
+
+* :class:`VAttentionMemory` — the paper's contribution: contiguous
+  virtual tensors, demand-mapped physical page-groups, background
+  allocation. Works with *non-paged* kernels.
+* :class:`PagedMemory` — PagedAttention: user-space block pool committed
+  up front, per-iteration Block-Table preparation (CPU cost depends on
+  the kernel library). Works with *paged* kernels.
+* :class:`StaticMemory` — Orca/FasterTransformer-style: every slot is a
+  max-context reservation; massive internal fragmentation bounds the
+  batch size. Works with non-paged kernels.
+
+Each backend reports ``framework_overhead`` (CPU seconds the serving
+framework spends on memory bookkeeping in one iteration) and
+``append_overhead`` (cost of writing new K/V into the cache layout),
+which the engine adds to iteration latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import VAttentionConfig
+from ..core.vattention import VAttention
+from ..errors import ConfigError, OutOfPhysicalMemory, SchedulingError
+from ..gpu.device import Device
+from ..gpu.uvm import UvmKvRegion
+from ..kernels.base import KvLayout
+from ..paged.block_manager import BlockManager
+from ..paged.block_table import BlockTableCost, block_table_cost
+from ..units import ceil_div
+from .request import Request
+
+
+class MemoryBackend(abc.ABC):
+    """Interface between the engine and a KV cache allocation strategy."""
+
+    #: Layout this backend produces; kernels must match it.
+    layout: KvLayout
+
+    @abc.abstractmethod
+    def can_admit(self, request: Request) -> bool:
+        """Whether admitting ``request`` now cannot run out of memory
+        during its prefill. Must account for memory already promised to
+        other admitted-but-not-yet-prefilled requests."""
+
+    @abc.abstractmethod
+    def admit(self, request: Request) -> None:
+        """Bind ``request`` to this backend and reserve its prompt memory."""
+
+    @abc.abstractmethod
+    def prepare_iteration(self, batch: Sequence[Request]) -> bool:
+        """Ensure memory for the requests executing this iteration;
+        False => a preemption is needed.
+
+        May advance the simulated clock (synchronous allocation).
+        """
+
+    @abc.abstractmethod
+    def release(self, request: Request) -> None:
+        """Free the memory of a finished or preempted request."""
+
+    def after_iteration(self, iteration_seconds: float) -> None:
+        """Observe a completed compute window (background allocation)."""
+
+    def framework_overhead(self, running: Sequence[Request]) -> float:
+        """CPU seconds of per-iteration memory bookkeeping."""
+        return 0.0
+
+    def append_overhead(self, new_tokens: int) -> float:
+        """Seconds to write a prefill's ``new_tokens`` of K/V into the cache.
+
+        Decode-phase single-token appends use the shared optimized copy
+        kernel and are free for every backend.
+        """
+        return 0.0
+
+
+# ----------------------------------------------------------------------
+class VAttentionMemory(MemoryBackend):
+    """vAttention-backed KV cache (non-paged kernels)."""
+
+    layout = KvLayout.CONTIGUOUS
+
+    def __init__(self, device: Device, config: VAttentionConfig) -> None:
+        self.config = config
+        self.manager = VAttention(device, config)
+        self._seq_lens: List[int] = [0] * config.max_batch_size
+        #: Rows promised to admitted requests whose prompts are not yet
+        #: backed; keeps admission from over-committing the device.
+        self._pending_rows: Dict[str, int] = {}
+
+    def can_admit(self, request: Request) -> bool:
+        tokens = request.resident_tokens_needed
+        if tokens > self.config.shard.max_context:
+            return False
+        if not self.manager.has_free_reqid():
+            return False
+        needed = self.manager.rows_for_context(tokens)
+        promised = sum(self._pending_rows.values())
+        return needed + promised <= self.manager.available_rows
+
+    def admit(self, request: Request) -> None:
+        request.memory_handle = self.manager.alloc_reqid()
+        self._pending_rows[request.request_id] = self.manager.rows_for_context(
+            request.resident_tokens_needed
+        )
+
+    def prepare_iteration(self, batch: Sequence[Request]) -> bool:
+        for i in range(len(self._seq_lens)):
+            self._seq_lens[i] = 0
+        for request in batch:
+            if request.memory_handle is None:
+                raise SchedulingError(f"{request.request_id} has no reqId")
+            # Prefill must back the whole prompt; decode grows by one.
+            target = (
+                request.prompt_len
+                if request.needs_prefill
+                else request.context_len + 1
+            )
+            self._seq_lens[request.memory_handle] = min(
+                target, self.config.shard.max_context
+            )
+        if self.manager.step(self._seq_lens) != 0:
+            return False
+        for request in batch:
+            self._pending_rows.pop(request.request_id, None)
+        return True
+
+    def release(self, request: Request) -> None:
+        self._pending_rows.pop(request.request_id, None)
+        if request.memory_handle is not None:
+            self.manager.free_reqid(request.memory_handle)
+            request.memory_handle = None
+
+    def after_iteration(self, iteration_seconds: float) -> None:
+        self.manager.on_iteration_end(iteration_seconds)
+
+    # vAttention needs no Block-Table and appends new K/V with a single
+    # contiguous tensor copy (S7.1) — both costs are negligible.
+
+
+# ----------------------------------------------------------------------
+class PagedMemory(MemoryBackend):
+    """PagedAttention block pool + Block-Table CPU costs (paged kernels)."""
+
+    layout = KvLayout.PAGED
+
+    def __init__(
+        self,
+        device: Device,
+        shard,
+        block_size: int,
+        library: str,
+        kv_budget_bytes: Optional[int] = None,
+    ) -> None:
+        budget = kv_budget_bytes if kv_budget_bytes is not None else device.kv_budget
+        # vLLM commits the whole block-pool region with cudaMalloc at
+        # startup; dynamic behaviour is purely user-space afterwards.
+        self._pool_buffer = device.caching_allocator.malloc(budget)
+        self.device = device
+        self.blocks = BlockManager(shard, budget, block_size)
+        self.cost: BlockTableCost = block_table_cost(library)
+        self.block_size = block_size
+
+    def can_admit(self, request: Request) -> bool:
+        return self.blocks.can_allocate(request.resident_tokens_needed)
+
+    def admit(self, request: Request) -> None:
+        # vLLM allocates the prompt's blocks at scheduling time, so
+        # admission consumes pool capacity immediately (a swapped-in
+        # request needs its whole restored context instead).
+        self.blocks.allocate(
+            request.request_id, request.resident_tokens_needed
+        )
+        request.memory_handle = 0  # blocks are keyed by request_id
+
+    def prepare_iteration(self, batch: Sequence[Request]) -> bool:
+        # Grow each participating request's block list for the coming
+        # iteration (decode: one more token; preempted-and-readmitted
+        # prefills may also need growth).
+        for request in batch:
+            target = (
+                request.prompt_len
+                if request.needs_prefill
+                else request.context_len + 1
+            )
+            allocation = self.blocks.allocation(request.request_id)
+            needed = self.blocks.blocks_needed(target) - allocation.num_blocks
+            if needed > self.blocks.free_blocks:
+                return False
+            if target > allocation.context_len:
+                self.blocks.extend(request.request_id, target)
+        return True
+
+    def release(self, request: Request) -> None:
+        self.blocks.free(request.request_id)
+        request.memory_handle = None
+
+    def framework_overhead(self, running: Sequence[Request]) -> float:
+        block_counts = [
+            self.blocks.allocation(request.request_id).num_blocks
+            for request in running
+        ]
+        return self.cost.prepare_seconds(block_counts)
+
+    def append_overhead(self, new_tokens: int) -> float:
+        n_tensors = 2 * self.blocks.shard.n_layers
+        return self.cost.append_seconds(new_tokens, self.block_size, n_tensors)
+
+
+# ----------------------------------------------------------------------
+class UvmMemory(MemoryBackend):
+    """cudaMallocManaged-backed KV cache (the S8.1 strawman).
+
+    Contiguous virtual layout (non-paged kernels work), but physical
+    pages materialize on touch and can never be partially freed, so
+    committed memory ratchets up with workload churn. Included to
+    demonstrate why the paper rejects stock unified memory and instead
+    extends the driver.
+    """
+
+    layout = KvLayout.CONTIGUOUS
+
+    def __init__(self, device: Device, shard, max_batch_size: int) -> None:
+        self.shard = shard
+        per_token = (
+            shard.kv_heads_per_worker * shard.head_dim * shard.dtype_bytes
+        )
+        self.region = UvmKvRegion(
+            pool=device.pool,
+            max_batch_size=max_batch_size,
+            n_tensors=2 * shard.n_layers,
+            bytes_per_token_per_tensor=per_token,
+        )
+        self._clock = device.clock
+
+    def can_admit(self, request: Request) -> bool:
+        if request.resident_tokens_needed > self.shard.max_context:
+            return False
+        candidates = [s for s in self.region.slots if not s.active]
+        if not candidates:
+            return False
+        best = max(candidates, key=lambda s: s.touched_rows)
+        return self.region.can_touch(
+            best.slot_id, request.resident_tokens_needed
+        )
+
+    def admit(self, request: Request) -> None:
+        request.memory_handle = self.region.acquire_slot()
+
+    def prepare_iteration(self, batch: Sequence[Request]) -> bool:
+        for request in batch:
+            if request.memory_handle is None:
+                raise SchedulingError(f"{request.request_id} has no slot")
+            target = (
+                request.prompt_len
+                if request.needs_prefill
+                else request.context_len + 1
+            )
+            target = min(target, self.shard.max_context)
+            if not self.region.can_touch(request.memory_handle, target):
+                return False
+        for request in batch:
+            target = (
+                request.prompt_len
+                if request.needs_prefill
+                else request.context_len + 1
+            )
+            target = min(target, self.shard.max_context)
+            # Page faults land on the critical path: no background
+            # thread, no overlap (S8.1 / S6 contrasts).
+            self._clock.advance(
+                self.region.touch(request.memory_handle, target)
+            )
+        return True
+
+    def release(self, request: Request) -> None:
+        if request.memory_handle is not None:
+            # Returns 0 bytes: no partial freeing in unified memory.
+            self.region.release_slot(request.memory_handle)
+            request.memory_handle = None
+
+    @property
+    def committed_bytes(self) -> int:
+        """Physical bytes this backend has permanently materialized."""
+        return self.region.committed_bytes
+
+
+# ----------------------------------------------------------------------
+class StaticMemory(MemoryBackend):
+    """Orca/FasterTransformer-style max-context pre-reservation."""
+
+    layout = KvLayout.CONTIGUOUS
+
+    def __init__(self, device: Device, shard, max_batch_size: int) -> None:
+        slot_bytes = shard.max_context * shard.kv_bytes_per_token
+        affordable = device.kv_budget // slot_bytes
+        self.max_slots = min(max_batch_size, affordable)
+        if self.max_slots <= 0:
+            raise ConfigError(
+                "device cannot hold even one max-context KV slot "
+                f"({slot_bytes} bytes each)"
+            )
+        self.shard = shard
+        # The whole region is committed up front, touched or not.
+        self._buffer = device.caching_allocator.malloc(
+            self.max_slots * slot_bytes
+        )
+        self._free_slots = list(range(self.max_slots - 1, -1, -1))
+        self._owners: Dict[str, int] = {}
+
+    def can_admit(self, request: Request) -> bool:
+        return bool(self._free_slots)
+
+    def admit(self, request: Request) -> None:
+        if not self._free_slots:
+            raise SchedulingError("no static KV slots free")
+        slot = self._free_slots.pop()
+        self._owners[request.request_id] = slot
+        request.memory_handle = slot
+
+    def prepare_iteration(self, running: Sequence[Request]) -> bool:
+        return True  # every slot is fully pre-committed
+
+    def release(self, request: Request) -> None:
+        slot = self._owners.pop(request.request_id, None)
+        if slot is None:
+            raise SchedulingError(f"{request.request_id} holds no slot")
+        self._free_slots.append(slot)
+        request.memory_handle = None
+
+    @property
+    def committed_bytes(self) -> int:
+        """Bytes committed regardless of use (the fragmentation source)."""
+        return self._buffer.committed

@@ -1,0 +1,123 @@
+"""KV-cache swapping to host memory (paper S5.3.3's future work).
+
+When ``step`` cannot back every request, the paper's framework preempts
+and later *recomputes* the victim's prefill (vLLM's default). The paper
+leaves "more sophisticated policies such as swapping out KV cache to CPU
+memory as future work"; this module implements that policy so the engine
+can compare both (``EngineConfig.preemption_mode``):
+
+* **recompute** — drop the KV cache; on re-admission the prompt (plus
+  any generated tokens) is prefilled again. Costs GPU compute, no host
+  memory.
+* **swap** — copy the victim's KV cache over PCIe to pinned host
+  memory; on re-admission copy it back and continue decoding. Costs two
+  PCIe transfers and host capacity, no recompute.
+
+The crossover is workload-dependent: long contexts make recompute
+expensive (quadratic prefill) while swap cost stays linear in bytes —
+exactly the trade-off the ablation bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigError, SchedulingError
+from ..units import GB, fmt_bytes
+
+#: Effective host<->device bandwidth of one PCIe 4.0 x16 link.
+PCIE_BANDWIDTH = 25e9  # bytes/second
+
+#: Default pinned-host-memory pool for swapped KV caches.
+DEFAULT_HOST_CAPACITY = 64 * GB
+
+
+@dataclass
+class SwapStats:
+    """Lifetime counters of the swap space."""
+
+    swap_outs: int = 0
+    swap_ins: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+    seconds_out: float = 0.0
+    seconds_in: float = 0.0
+    rejected_for_capacity: int = 0
+
+
+class HostSwapSpace:
+    """Pinned host memory holding swapped-out KV caches.
+
+    Transfers are modeled by PCIe bandwidth; the serving engine charges
+    the returned seconds to the simulated clock (swaps are synchronous
+    with respect to the victim, like vLLM's swap implementation).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_HOST_CAPACITY,
+        bandwidth: float = PCIE_BANDWIDTH,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        if bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {bandwidth}")
+        self.capacity = capacity
+        self.bandwidth = bandwidth
+        self._resident: Dict[str, int] = {}
+        self.stats = SwapStats()
+
+    @property
+    def used(self) -> int:
+        """Host bytes currently holding swapped caches."""
+        return sum(self._resident.values())
+
+    @property
+    def available(self) -> int:
+        """Host bytes free for further swap-outs."""
+        return self.capacity - self.used
+
+    def holds(self, request_id: str) -> bool:
+        """Whether ``request_id``'s cache is swapped out here."""
+        return request_id in self._resident
+
+    def can_swap_out(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` fit in the remaining host capacity."""
+        if nbytes <= self.available:
+            return True
+        self.stats.rejected_for_capacity += 1
+        return False
+
+    def swap_out(self, request_id: str, nbytes: int) -> float:
+        """Store a cache; returns the device->host transfer seconds."""
+        if request_id in self._resident:
+            raise SchedulingError(f"{request_id} is already swapped out")
+        if nbytes <= 0:
+            raise SchedulingError(f"cannot swap {nbytes} bytes")
+        if nbytes > self.available:
+            raise SchedulingError(
+                f"host swap space full: need {fmt_bytes(nbytes)}, "
+                f"have {fmt_bytes(self.available)}"
+            )
+        self._resident[request_id] = nbytes
+        seconds = nbytes / self.bandwidth
+        self.stats.swap_outs += 1
+        self.stats.bytes_out += nbytes
+        self.stats.seconds_out += seconds
+        return seconds
+
+    def swap_in(self, request_id: str) -> float:
+        """Restore a cache; returns the host->device transfer seconds."""
+        nbytes = self._resident.pop(request_id, None)
+        if nbytes is None:
+            raise SchedulingError(f"{request_id} is not swapped out")
+        seconds = nbytes / self.bandwidth
+        self.stats.swap_ins += 1
+        self.stats.bytes_in += nbytes
+        self.stats.seconds_in += seconds
+        return seconds
+
+    def drop(self, request_id: str) -> None:
+        """Discard a swapped cache without restoring it (request done)."""
+        self._resident.pop(request_id, None)

@@ -1,0 +1,29 @@
+"""Workload traces and arrival processes for the evaluation."""
+
+from .arrival import batch_arrivals, poisson_arrivals, uniform_arrivals
+from .traces import (
+    ARXIV_OFFLINE_COUNT,
+    ARXIV_ONLINE_COUNT,
+    TraceSpec,
+    arxiv_offline_trace,
+    arxiv_online_trace,
+    fixed_trace,
+    openchat_trace,
+    sharegpt_trace,
+    trace_statistics,
+)
+
+__all__ = [
+    "ARXIV_OFFLINE_COUNT",
+    "ARXIV_ONLINE_COUNT",
+    "TraceSpec",
+    "arxiv_offline_trace",
+    "arxiv_online_trace",
+    "batch_arrivals",
+    "fixed_trace",
+    "openchat_trace",
+    "poisson_arrivals",
+    "sharegpt_trace",
+    "trace_statistics",
+    "uniform_arrivals",
+]

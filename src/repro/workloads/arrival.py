@@ -1,0 +1,53 @@
+"""Arrival processes for online serving experiments.
+
+The paper's online evaluation (S7.4) varies input load as
+queries-per-second drawn from a Poisson process with FCFS scheduling;
+the dynamic-trace capacity experiment (S7.6.3) uses 7 QPS.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import ConfigError
+
+
+def poisson_arrivals(
+    qps: float, count: int, seed: int, start: float = 0.0
+) -> List[float]:
+    """Arrival timestamps of a homogeneous Poisson process.
+
+    Inter-arrival gaps are exponential with mean ``1/qps``; the sequence
+    is deterministic for a given ``seed`` so experiments are repeatable.
+    """
+    if qps <= 0:
+        raise ConfigError(f"qps must be positive, got {qps}")
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    now = start
+    arrivals: List[float] = []
+    for _ in range(count):
+        now += rng.expovariate(qps)
+        arrivals.append(now)
+    return arrivals
+
+
+def uniform_arrivals(
+    qps: float, count: int, start: float = 0.0
+) -> List[float]:
+    """Evenly spaced arrivals (deterministic load, used in ablations)."""
+    if qps <= 0:
+        raise ConfigError(f"qps must be positive, got {qps}")
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    gap = 1.0 / qps
+    return [start + gap * (i + 1) for i in range(count)]
+
+
+def batch_arrivals(count: int, start: float = 0.0) -> List[float]:
+    """All requests present at ``start`` (offline scenarios, S7.3)."""
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    return [start] * count

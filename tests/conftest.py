@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.models.config import ModelConfig
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh A100 with 20GB reserved for weights/workspace."""
+    return Device(A100, reserved_bytes=20 * GB)
+
+
+@pytest.fixture
+def small_device() -> Device:
+    """A tiny device for out-of-memory paths (2GB of KV budget)."""
+    return Device(A100, reserved_bytes=78 * GB)
+
+
+@pytest.fixture
+def yi6b_shard() -> ShardedModel:
+    """Yi-6B at the paper's TP-1 deployment."""
+    return ShardedModel(YI_6B, tp_degree=1)
+
+
+@pytest.fixture
+def llama3_shard() -> ShardedModel:
+    """Llama-3-8B at the paper's TP-2 deployment."""
+    return ShardedModel(LLAMA3_8B, tp_degree=2)
+
+
+@pytest.fixture
+def yi34b_shard() -> ShardedModel:
+    """Yi-34B at the paper's TP-2 deployment."""
+    return ShardedModel(YI_34B, tp_degree=2)
+
+
+@pytest.fixture
+def tiny_model() -> ModelConfig:
+    """A small model so exact virtual tensors stay cheap in tests."""
+    return ModelConfig(
+        name="tiny",
+        n_layers=2,
+        n_q_heads=4,
+        n_kv_heads=2,
+        head_dim=64,
+        hidden_size=256,
+        intermediate_size=512,
+        vocab_size=1000,
+        max_context=8_192,
+    )
+
+
+@pytest.fixture
+def tiny_shard(tiny_model: ModelConfig) -> ShardedModel:
+    """The tiny model on one worker."""
+    return ShardedModel(tiny_model, tp_degree=1)
+
+
+@pytest.fixture
+def tiny_config(tiny_shard: ShardedModel) -> VAttentionConfig:
+    """A small vAttention configuration (64KB page-groups, batch 4)."""
+    return VAttentionConfig(
+        shard=tiny_shard,
+        max_batch_size=4,
+        page_group_size=64 * 1024,
+    )

@@ -1,0 +1,97 @@
+"""Terminal plotting helpers."""
+
+import pytest
+
+from repro.metrics.ascii_plot import (
+    bar_chart,
+    cdf_plot,
+    normalized_bars,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] < line[-1]  # block glyphs sort by height
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("longer-label", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+    def test_unit_suffix(self):
+        assert "GB/s" in bar_chart([("x", 7.5)], unit="GB/s")
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 0.0)])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=0)
+
+
+class TestCdfPlot:
+    def test_renders_all_series(self):
+        plot = cdf_plot(
+            {"paged": [10, 20, 30], "vattn": [5, 10, 15]},
+            width=30, height=6,
+        )
+        assert "* paged" in plot
+        assert "o vattn" in plot
+        assert "1.0" in plot and "0.0" in plot
+
+    def test_left_shifted_series_rises_earlier(self):
+        plot = cdf_plot(
+            {"slow": [80.0, 90.0, 100.0, 110.0], "fast": [1.0, 2.0, 3.0, 4.0]},
+            width=20, height=5,
+        )
+        top_line = plot.splitlines()[0].split("┤", 1)[1]
+        # The fast series ('o') saturates from the far left; the slow
+        # one ('*') only reaches the top row near the right edge.
+        assert "o" in top_line[:5]
+        assert "*" not in top_line[:10]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot({})
+        with pytest.raises(ValueError):
+            cdf_plot({"x": []})
+
+
+class TestNormalizedBars:
+    def test_baseline_is_one(self):
+        plot = normalized_bars(
+            [("1K", {"FA2": 2.0, "FA2_Paged": 2.8})], baseline="FA2"
+        )
+        assert "1.00x" in plot
+        assert "1.40x" in plot
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_bars([("g", {"a": 1.0})], baseline="b")
+
+    def test_nonpositive_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_bars([("g", {"a": 0.0})], baseline="a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_bars([], baseline="a")

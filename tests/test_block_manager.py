@@ -1,0 +1,122 @@
+"""PagedAttention block manager invariants."""
+
+import pytest
+
+from repro.errors import ConfigError, OutOfPhysicalMemory, SchedulingError
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.paged.block_manager import BlockManager
+from repro.units import GB, KB
+
+
+@pytest.fixture
+def manager() -> BlockManager:
+    shard = ShardedModel(YI_6B, 1)
+    # 1GB budget, 16-token blocks of 16*64KB = 1MB each -> 1024 blocks.
+    return BlockManager(shard, 1 * GB, block_size=16)
+
+
+class TestPoolSizing:
+    def test_block_bytes(self, manager):
+        assert manager.block_bytes == 16 * 64 * KB
+
+    def test_num_blocks(self, manager):
+        assert manager.num_blocks == 1024
+
+    def test_budget_too_small_rejected(self):
+        shard = ShardedModel(YI_6B, 1)
+        with pytest.raises(ConfigError):
+            BlockManager(shard, 1024, block_size=16)
+
+    def test_bad_block_size_rejected(self):
+        shard = ShardedModel(YI_6B, 1)
+        with pytest.raises(ConfigError):
+            BlockManager(shard, 1 * GB, block_size=0)
+
+
+class TestAllocate:
+    def test_blocks_needed_rounds_up(self, manager):
+        assert manager.blocks_needed(1) == 1
+        assert manager.blocks_needed(16) == 1
+        assert manager.blocks_needed(17) == 2
+        assert manager.blocks_needed(0) == 0
+
+    def test_allocate_takes_blocks(self, manager):
+        allocation = manager.allocate("r1", 100)
+        assert allocation.num_blocks == 7
+        assert manager.free_blocks == 1024 - 7
+
+    def test_duplicate_allocation_rejected(self, manager):
+        manager.allocate("r1", 10)
+        with pytest.raises(SchedulingError):
+            manager.allocate("r1", 10)
+
+    def test_exhaustion_raises(self, manager):
+        manager.allocate("big", 1024 * 16)
+        with pytest.raises(OutOfPhysicalMemory):
+            manager.allocate("more", 16)
+
+    def test_can_allocate(self, manager):
+        assert manager.can_allocate(1024 * 16)
+        assert not manager.can_allocate(1024 * 16 + 1)
+
+
+class TestExtend:
+    def test_extend_within_block_is_free(self, manager):
+        manager.allocate("r1", 10)
+        assert manager.extend("r1", 16) == 0
+
+    def test_extend_across_block_boundary(self, manager):
+        manager.allocate("r1", 16)
+        assert manager.extend("r1", 17) == 1
+
+    def test_shrink_rejected(self, manager):
+        manager.allocate("r1", 32)
+        with pytest.raises(SchedulingError):
+            manager.extend("r1", 16)
+
+    def test_extend_exhaustion(self, manager):
+        manager.allocate("big", 1023 * 16)
+        manager.allocate("r1", 16)
+        with pytest.raises(OutOfPhysicalMemory):
+            manager.extend("r1", 48)
+
+    def test_unknown_request_rejected(self, manager):
+        with pytest.raises(SchedulingError):
+            manager.extend("ghost", 10)
+
+
+class TestFree:
+    def test_free_returns_blocks(self, manager):
+        manager.allocate("r1", 100)
+        assert manager.free("r1") == 7
+        assert manager.free_blocks == 1024
+
+    def test_blocks_are_reusable_after_free(self, manager):
+        manager.allocate("r1", 1024 * 16)
+        manager.free("r1")
+        manager.allocate("r2", 1024 * 16)
+
+    def test_double_free_rejected(self, manager):
+        manager.allocate("r1", 10)
+        manager.free("r1")
+        with pytest.raises(SchedulingError):
+            manager.free("r1")
+
+
+class TestFragmentation:
+    def test_bounded_by_one_block_per_request(self, manager):
+        manager.allocate("r1", 17)  # 2 blocks, 15 tokens wasted
+        waste = manager.internal_fragmentation_bytes()
+        assert waste == 15 * manager.shard.kv_bytes_per_token
+        assert waste < manager.block_bytes
+
+    def test_full_blocks_waste_nothing(self, manager):
+        manager.allocate("r1", 32)
+        assert manager.internal_fragmentation_bytes() == 0
+
+    def test_peak_tracking(self, manager):
+        manager.allocate("r1", 320)
+        manager.free("r1")
+        assert manager.peak_blocks_used == 20
+        assert manager.used_blocks == 0

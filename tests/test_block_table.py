@@ -1,0 +1,93 @@
+"""Block-Table CPU cost models (PagedAttention's framework overhead)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.paged.block_table import (
+    BLOCK_TABLE_COSTS,
+    FI_APPEND_PER_BLOCK,
+    FI_OBJECT_CHURN,
+    VLLM_PER_ENTRY,
+    block_table_cost,
+)
+
+
+class TestLookup:
+    def test_known_libraries(self):
+        for library in ("vLLM", "FlashAttention-2", "FlashInfer"):
+            assert block_table_cost(library).library == library
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ConfigError):
+            block_table_cost("Triton")
+
+
+class TestVllmPaddedTable:
+    def test_cost_is_max_times_batch(self):
+        cost = block_table_cost("vLLM")
+        # One long request forces padding for the whole batch (S3.3.2).
+        skewed = cost.prepare_seconds([1024, 1, 1, 1])
+        assert skewed == pytest.approx(VLLM_PER_ENTRY * 1024 * 4)
+
+    def test_padding_hurts_mixed_batches(self):
+        cost = block_table_cost("vLLM")
+        uniform = cost.prepare_seconds([256] * 4)
+        skewed = cost.prepare_seconds([1024, 1, 1, 1])
+        assert skewed > uniform  # same total blocks, worse with padding
+
+    def test_ten_percent_of_decode_iteration(self):
+        # Calibration check: batch 32 at 16K context with block 16 is
+        # ~2.5ms — roughly 10% of the Table 7 iteration latency.
+        cost = block_table_cost("vLLM")
+        seconds = cost.prepare_seconds([1024] * 32)
+        assert seconds == pytest.approx(2.5e-3, rel=0.05)
+
+    def test_empty_batch_is_free(self):
+        assert block_table_cost("vLLM").prepare_seconds([]) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            block_table_cost("vLLM").prepare_seconds([-1])
+
+
+class TestCompressedAndSimpleTables:
+    def test_fa2_cost_uses_true_totals(self):
+        cost = block_table_cost("FlashAttention-2")
+        uniform = cost.prepare_seconds([256] * 4)
+        skewed = cost.prepare_seconds([1021, 1, 1, 1])
+        assert skewed == pytest.approx(uniform)  # no padding effect
+
+    def test_fi_pays_object_churn_every_iteration(self):
+        cost = block_table_cost("FlashInfer")
+        assert cost.prepare_seconds([1]) >= FI_OBJECT_CHURN
+
+    def test_vattention_needs_none_of_this(self):
+        # There is deliberately no entry for a vAttention "library":
+        # contiguous KV needs no Block-Table (S3.2).
+        with pytest.raises(ConfigError):
+            block_table_cost("vAttention")
+
+
+class TestAppendCosts:
+    def test_fi_appends_per_block_per_tensor(self):
+        cost = block_table_cost("FlashInfer")
+        one_tensor = cost.append_seconds(160, 16, n_tensors=1)
+        assert one_tensor == pytest.approx(10 * FI_APPEND_PER_BLOCK)
+        all_tensors = cost.append_seconds(160, 16, n_tensors=64)
+        assert all_tensors == pytest.approx(64 * one_tensor)
+
+    def test_fi_append_calibration_yi34b_192k(self):
+        # Table 6 attributes ~6s of FI_Paged's 192K-prefill gap to
+        # non-attention sources for Yi-34B (120 tensors).
+        cost = block_table_cost("FlashInfer")
+        seconds = cost.append_seconds(196_608, 16, n_tensors=120)
+        assert seconds == pytest.approx(5.9, rel=0.05)
+
+    def test_fa2_append_is_free(self):
+        # vLLM ships an optimized copy kernel for FA2 (S7.1).
+        cost = block_table_cost("FlashAttention-2")
+        assert cost.append_seconds(196_608, 256, n_tensors=64) == 0.0
+
+    def test_zero_tokens_free(self):
+        cost = block_table_cost("FlashInfer")
+        assert cost.append_seconds(0, 16, n_tensors=64) == 0.0

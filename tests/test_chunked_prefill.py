@@ -1,0 +1,130 @@
+"""Chunked prefill (Sarathi-style) engine feature."""
+
+import pytest
+
+from repro.errors import ConfigError, SchedulingError
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.serving.engine import EngineConfig, LLMEngine
+from repro.serving.request import Request, RequestState
+from repro.workloads.traces import fixed_trace
+
+
+def make_engine(chunk, **overrides):
+    defaults = dict(
+        shard=ShardedModel(YI_6B, 1),
+        gpu=A100,
+        memory_backend="vattention",
+        max_batch_size=8,
+        prefill_chunk_size=chunk,
+    )
+    defaults.update(overrides)
+    return LLMEngine(EngineConfig(**defaults))
+
+
+class TestRequestChunkAccounting:
+    def _running_request(self, prompt=100):
+        request = Request(request_id="r", prompt_len=prompt, max_new_tokens=5)
+        request.state = RequestState.RUNNING
+        return request
+
+    def test_chunks_accumulate(self):
+        request = self._running_request(100)
+        request.record_prefill_chunk(40, now=1.0)
+        assert request.prefilled_tokens == 40
+        assert not request.prefill_done
+        assert request.next_chunk_tokens == 60
+
+    def test_final_chunk_completes_prefill(self):
+        request = self._running_request(100)
+        request.record_prefill_chunk(40, now=1.0)
+        request.record_prefill_chunk(60, now=2.0)
+        assert request.prefill_done
+        assert request.generated == 1
+        assert request.first_token_time == 2.0
+
+    def test_overrun_rejected(self):
+        request = self._running_request(100)
+        with pytest.raises(SchedulingError):
+            request.record_prefill_chunk(101, now=1.0)
+
+    def test_chunk_after_done_rejected(self):
+        request = self._running_request(100)
+        request.record_prefill(now=1.0)
+        with pytest.raises(SchedulingError):
+            request.record_prefill_chunk(10, now=2.0)
+
+    def test_nonpositive_chunk_rejected(self):
+        request = self._running_request(100)
+        with pytest.raises(SchedulingError):
+            request.record_prefill_chunk(0, now=1.0)
+
+    def test_preemption_resets_chunks(self):
+        request = self._running_request(100)
+        request.record_prefill_chunk(40, now=1.0)
+        request.preempt()
+        assert request.prefilled_tokens == 0
+
+
+class TestChunkedEngine:
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine(chunk=0)
+
+    def test_chunked_run_completes_identically(self):
+        results = {}
+        for chunk in (None, 4_096):
+            engine = make_engine(chunk)
+            engine.submit(
+                fixed_trace(count=4, prompt_len=10_000, max_new_tokens=20)
+            )
+            report = engine.run()
+            results[chunk] = {
+                r.request_id: r.generated for r in report.finished_requests
+            }
+        assert results[None] == results[4_096]
+
+    def test_chunk_count_matches_prompt(self):
+        engine = make_engine(chunk=4_096)
+        engine.submit(fixed_trace(count=1, prompt_len=10_000, max_new_tokens=3))
+        report = engine.run()
+        mixed = report.metrics.of_phase("mixed")
+        assert len(mixed) == 3  # ceil(10000 / 4096)
+        assert sum(r.tokens for r in mixed) >= 10_000
+
+    def test_decodes_progress_during_long_prefill(self):
+        engine = make_engine(chunk=2_048, max_batch_size=4)
+        chat = fixed_trace(count=2, prompt_len=1_000, max_new_tokens=200)
+        long = fixed_trace(
+            count=1, prompt_len=32_768, max_new_tokens=4,
+            name="long", arrivals=[1.0],
+        )
+        engine.submit(chat + long)
+        report = engine.run()
+        # Decode tokens were produced inside mixed iterations.
+        mixed = report.metrics.of_phase("mixed")
+        assert any(r.batch_size > 1 for r in mixed)
+        assert len(report.finished_requests) == 3
+
+    def test_throughput_not_sacrificed(self):
+        makespans = {}
+        for chunk in (None, 2_048):
+            engine = make_engine(chunk)
+            engine.submit(
+                fixed_trace(count=4, prompt_len=16_000, max_new_tokens=50)
+            )
+            makespans[chunk] = engine.run().makespan
+        assert makespans[2_048] < 1.15 * makespans[None]
+
+    def test_works_on_paged_backend_too(self):
+        engine = make_engine(
+            chunk=2_048,
+            memory_backend="paged",
+            prefill_kernel="fa2_paged",
+            decode_kernel="fa2_paged",
+            block_size=256,
+        )
+        engine.submit(fixed_trace(count=2, prompt_len=8_000, max_new_tokens=10))
+        report = engine.run()
+        assert len(report.finished_requests) == 2

@@ -1,0 +1,43 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig02", "tab08", "ext-swap"):
+            assert name in out
+
+    def test_catalogue_covers_every_eval_artifact(self):
+        # Every table and figure of the paper's evaluation is runnable.
+        expected = {
+            "fig02", "fig03", "fig04", "tab03", "fig07", "tab06",
+            "fig08", "tab07", "fig09", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "tab08", "tab09", "tab10",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "tab08"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out
+        assert "Yi-6B" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "tab08", "tab10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out and "Table 10" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,180 @@
+"""Additional vAttention manager behaviours: slicing mode, accounting
+identities, multi-request interleavings, eager targeting."""
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.core.vattention import VAttention
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_6B
+from repro.units import GB, KB, MB
+
+
+def make(model=YI_6B, tp=1, batch=6, pg=2 * MB, budget=16 * GB, **flags):
+    device = Device(A100, reserved_bytes=80 * GB - budget)
+    config = VAttentionConfig(
+        shard=ShardedModel(model, tp),
+        max_batch_size=batch,
+        page_group_size=pg,
+        **flags,
+    )
+    return device, config, VAttention(device, config)
+
+
+class TestSlicingMode:
+    """The manager running the S8.2 tensor-slicing layout."""
+
+    def test_two_tensors_lockstep(self):
+        _, config, manager = make(
+            tensor_slicing=True, eager_allocation=False
+        )
+        req = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[req] = 100
+        manager.step(seq)
+        # One row = one 2MB page in K + one in V.
+        assert config.row_bytes == 4 * MB
+        assert manager.stats.map_calls == 2 * manager.stats.rows_mapped
+
+    def test_sliced_block_size_drives_row_count(self):
+        _, config, manager = make(
+            tensor_slicing=True, eager_allocation=False
+        )
+        assert config.tokens_per_page_group == 64  # Table 10, Yi-6B TP-1
+        req = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[req] = 1_000
+        manager.step(seq)
+        assert manager.slots[req].mapped_rows == -(-1_000 // 64)
+
+    def test_sliced_fragmentation_is_finer(self):
+        # Same 100-token request wastes ~N times less under slicing.
+        _, _, unsliced = make(eager_allocation=False)
+        _, _, sliced = make(tensor_slicing=True, eager_allocation=False)
+        for manager in (unsliced, sliced):
+            req = manager.alloc_reqid()
+            seq = [0] * 6
+            seq[req] = 100
+            manager.step(seq)
+        assert (
+            unsliced.internal_fragmentation_bytes
+            > 10 * sliced.internal_fragmentation_bytes
+        )
+
+
+class TestAccountingIdentities:
+    def test_rows_conserved(self):
+        _, _, manager = make(eager_allocation=False)
+        reqs = [manager.alloc_reqid() for _ in range(3)]
+        seq = [0] * 6
+        for i, req in enumerate(reqs):
+            seq[req] = 3_000 * (i + 1)
+        manager.step(seq)
+        slot_rows = sum(s.mapped_rows for s in manager.slots)
+        assert manager.free_rows + slot_rows == manager.total_rows
+
+    def test_available_rows_identity(self):
+        _, _, manager = make(eager_allocation=False)
+        req = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[req] = 5_000
+        manager.step(seq)
+        manager.free_reqid(req)
+        assert manager.available_rows == (
+            manager.free_rows + manager.cached_rows
+            + manager.excess_active_rows
+        )
+        assert manager.cached_rows == manager.slots[req].mapped_rows
+
+    def test_sync_seconds_accumulate(self):
+        _, _, manager = make(
+            eager_allocation=False, overlap_allocation=False
+        )
+        req = manager.alloc_reqid()
+        total = 0.0
+        for ctx in (2_048, 4_096, 6_144):
+            seq = [0] * 6
+            seq[req] = ctx
+            manager.step(seq)
+            total += manager.stats.last_step_sync_seconds
+        assert manager.stats.sync_alloc_seconds == pytest.approx(total)
+
+    def test_map_calls_are_tensor_multiples(self):
+        _, config, manager = make(eager_allocation=False)
+        req = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[req] = 10_000
+        manager.step(seq)
+        assert manager.stats.map_calls % config.n_tensors == 0
+
+
+class TestInterleavedRequests:
+    def test_independent_growth(self):
+        _, _, manager = make(eager_allocation=False)
+        a = manager.alloc_reqid()
+        b = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[a] = 2_048
+        manager.step(seq)
+        seq[b] = 4_096
+        manager.step(seq)
+        seq[a] = 2_049
+        manager.step(seq)
+        assert manager.slots[a].mapped_rows == 2
+        assert manager.slots[b].mapped_rows == 2
+
+    def test_free_one_keeps_other_intact(self):
+        _, _, manager = make(eager_allocation=False)
+        a = manager.alloc_reqid()
+        b = manager.alloc_reqid()
+        seq = [0] * 6
+        seq[a] = 4_096
+        seq[b] = 4_096
+        manager.step(seq)
+        manager.free_reqid(a)
+        seq_b = [0] * 6
+        seq_b[b] = 6_000
+        assert manager.step(seq_b) == 0
+        assert manager.slots[b].mapped_rows == 3
+
+    def test_batch_fill_and_drain(self):
+        _, _, manager = make(batch=4, eager_allocation=False)
+        reqs = [manager.alloc_reqid() for _ in range(4)]
+        seq = [2_000] * 4
+        manager.step(seq)
+        for req in reqs:
+            manager.free_reqid(req)
+        again = [manager.alloc_reqid() for _ in range(4)]
+        assert sorted(again) == sorted(reqs)
+        # Every successor inherits pages: no allocations on re-prefill.
+        maps_before = manager.stats.map_calls
+        manager.step([2_000] * 4)
+        assert manager.stats.map_calls == maps_before
+
+
+class TestEagerTargeting:
+    def test_eager_does_not_multiply_warm_slots(self):
+        _, config, manager = make(eager_page_groups=4)
+        req = manager.alloc_reqid()  # eager pre-warms the next candidate
+        seq = [0] * 6
+        seq[req] = 8_192  # 4 rows
+        manager.step(seq)
+        manager.free_reqid(req)
+        manager.on_iteration_end(1.0)
+        manager.on_iteration_end(1.0)
+        # Exactly two warm slots exist: the eager candidate prepared at
+        # alloc time (S6.1.2) and the freed request's cached slot —
+        # further iterations must not keep warming additional slots.
+        warm = [s for s in manager.slots if not s.active and s.mapped_rows]
+        assert len(warm) == 2
+        assert all(s.mapped_rows == 4 for s in warm)
+
+    def test_eager_respects_free_pool(self):
+        _, _, manager = make(
+            budget=2 * GB, batch=2, eager_page_groups=1_000
+        )
+        manager.on_iteration_end(1.0)
+        candidates = [s for s in manager.slots if not s.active]
+        assert max(s.mapped_rows for s in candidates) <= manager.total_rows

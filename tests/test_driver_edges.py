@@ -1,0 +1,118 @@
+"""Experiment-driver edge cases and helper functions."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    fig02_prefill_kernel_overhead,
+    fig04_alloc_bandwidth_demand,
+    fig08_decode_throughput,
+    fig10_online_latency,
+    fig13_deferred_reclamation,
+    tab09_alloc_bandwidth,
+)
+from repro.experiments.prefill_model import prefill_breakdown
+from repro.gpu.spec import A100, H100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_34B, YI_6B
+from repro.units import KB
+
+
+class TestPrefillModel:
+    def test_breakdown_components_sum(self):
+        shard = ShardedModel(YI_6B, 1)
+        b = prefill_breakdown("FA2_Paged", shard, A100, 16_384)
+        assert b.total_seconds == pytest.approx(
+            b.linear_seconds + b.attention_seconds
+            + b.framework_seconds + b.alloc_seconds
+        )
+        assert b.throughput == pytest.approx(16_384 / b.total_seconds)
+
+    def test_unknown_label_rejected(self):
+        shard = ShardedModel(YI_6B, 1)
+        with pytest.raises(ReproError):
+            prefill_breakdown("NotASystem", shard, A100, 1_024)
+
+    def test_paged_has_framework_overhead(self):
+        shard = ShardedModel(YI_6B, 1)
+        paged = prefill_breakdown("FI_Paged", shard, A100, 65_536)
+        vattn = prefill_breakdown("FI_vAttention", shard, A100, 65_536)
+        assert paged.framework_seconds > vattn.framework_seconds
+
+    def test_hopper_prefill_faster(self):
+        shard = ShardedModel(YI_6B, 1)
+        a100 = prefill_breakdown("FA2_vAttention", shard, A100, 65_536)
+        h100 = prefill_breakdown("FA2_vAttention", shard, H100, 65_536)
+        assert h100.total_seconds < a100.total_seconds
+
+
+class TestDriverParameters:
+    def test_fig2_custom_contexts(self):
+        rows = fig02_prefill_kernel_overhead.run(contexts=(2_048,))
+        assert len(rows) == 1
+        assert rows[0].context_len == 2_048
+
+    def test_fig4_custom_models(self):
+        rows = fig04_alloc_bandwidth_demand.run(
+            models=((YI_34B, 2),), batches=(1, 64)
+        )
+        assert {r.model for r in rows} == {"Yi-34B"}
+        assert len(rows) == 2
+
+    def test_fig13_monotone_overheads(self):
+        for row in fig13_deferred_reclamation.run(models=((YI_6B, 1),)):
+            assert (
+                row.deferred_seconds
+                <= row.sync_2mb_seconds
+                <= row.sync_64kb_seconds
+            )
+
+    def test_tab09_measured_not_constant(self):
+        bw_small = tab09_alloc_bandwidth.measure_bandwidth(64 * KB)
+        bw_large = tab09_alloc_bandwidth.measure_bandwidth(256 * KB)
+        assert bw_large > bw_small
+
+
+class TestFig8Helpers:
+    def test_oom_rows_skipped_in_speedup(self):
+        rows = [
+            fig08_decode_throughput.Fig8Row("Yi-6B", "vLLM", 8, 100.0, 0.08),
+            fig08_decode_throughput.Fig8Row(
+                "Yi-6B", "FA2_vAttention", 8, 200.0, 0.04
+            ),
+            fig08_decode_throughput.Fig8Row(
+                "Yi-6B", "FA2_vAttention", 32, None, None
+            ),
+        ]
+        assert fig08_decode_throughput.max_speedup_over_vllm(
+            rows, "Yi-6B"
+        ) == pytest.approx(2.0)
+
+    def test_no_points_raises(self):
+        with pytest.raises(ReproError):
+            fig08_decode_throughput.max_speedup_over_vllm([], "Yi-6B")
+
+
+class TestFig10Helpers:
+    def test_cell_cdf_and_median(self):
+        cell = fig10_online_latency.Fig10Cell(
+            model="Yi-6B", qps=0.2, system="FA2_Paged",
+            latencies=(10.0, 20.0, 30.0),
+        )
+        assert cell.median_latency == 20.0
+        cdf = cell.cdf()
+        assert cdf[0] == (10.0, pytest.approx(1 / 3))
+        assert cdf[-1] == (30.0, pytest.approx(1.0))
+
+    def test_median_reduction_helper(self):
+        cells = [
+            fig10_online_latency.Fig10Cell(
+                "Yi-6B", 0.2, "FA2_Paged", (100.0, 100.0)
+            ),
+            fig10_online_latency.Fig10Cell(
+                "Yi-6B", 0.2, "FA2_vAttention", (60.0, 60.0)
+            ),
+        ]
+        assert fig10_online_latency.median_reduction(
+            cells, "Yi-6B", 0.2
+        ) == pytest.approx(0.4)

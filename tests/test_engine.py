@@ -1,0 +1,192 @@
+"""Continuous-batching engine: Algorithm 1 end to end."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.spec import A100, H100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_6B
+from repro.serving.engine import EngineConfig, LLMEngine
+from repro.serving.request import RequestState
+from repro.units import GB, MB
+from repro.workloads.traces import fixed_trace
+
+
+def make_engine(**overrides) -> LLMEngine:
+    defaults = dict(
+        shard=ShardedModel(YI_6B, 1),
+        gpu=A100,
+        memory_backend="vattention",
+        prefill_kernel="fa2",
+        decode_kernel="fa2",
+        max_batch_size=8,
+    )
+    defaults.update(overrides)
+    return LLMEngine(EngineConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_decode_kernel_layout_must_match_backend(self):
+        # A non-paged kernel cannot read a paged pool...
+        with pytest.raises(ConfigError):
+            make_engine(memory_backend="paged", decode_kernel="fa2")
+        # ...and a paged kernel cannot read contiguous vAttention memory.
+        with pytest.raises(ConfigError):
+            make_engine(memory_backend="vattention", decode_kernel="fa2_paged")
+
+    def test_vllm_style_contiguous_prefill_over_paged_is_allowed(self):
+        engine = make_engine(
+            memory_backend="paged",
+            prefill_kernel="fa2",
+            decode_kernel="vllm_paged",
+        )
+        assert engine.prefill_kernel.info.name == "fa2"
+
+    def test_paged_prefill_over_contiguous_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine(
+                memory_backend="vattention",
+                prefill_kernel="fa2_paged",
+                decode_kernel="fa2",
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine(memory_backend="bogus")
+
+    def test_weights_must_fit(self):
+        from repro.models.zoo import GPT3_175B
+
+        with pytest.raises(ConfigError):
+            make_engine(shard=ShardedModel(GPT3_175B, 1))
+
+
+class TestBasicServing:
+    def test_all_requests_complete(self):
+        engine = make_engine()
+        engine.submit(fixed_trace(count=4, prompt_len=1000, max_new_tokens=20))
+        report = engine.run()
+        assert len(report.finished_requests) == 4
+        assert all(r.generated == 20 for r in report.finished_requests)
+
+    def test_prefill_then_decode_phases(self):
+        engine = make_engine()
+        engine.submit(fixed_trace(count=2, prompt_len=1000, max_new_tokens=5))
+        report = engine.run()
+        prefills = report.metrics.of_phase("prefill")
+        decodes = report.metrics.of_phase("decode")
+        assert len(prefills) == 2
+        # 2 requests x 4 decode tokens (prefill emits the first).
+        assert sum(r.tokens for r in decodes) == 8
+
+    def test_clock_advances_monotonically(self):
+        engine = make_engine()
+        engine.submit(fixed_trace(count=2, prompt_len=500, max_new_tokens=5))
+        report = engine.run()
+        times = [r.start_time for r in report.metrics.iterations]
+        assert times == sorted(times)
+        assert report.makespan > 0
+
+    def test_max_iterations_cap(self):
+        engine = make_engine()
+        engine.submit(fixed_trace(count=1, prompt_len=500, max_new_tokens=50))
+        report = engine.run(max_iterations=5)
+        assert len(report.metrics.iterations) == 5
+
+    def test_batch_cap_respected(self):
+        engine = make_engine(max_batch_size=2)
+        engine.submit(fixed_trace(count=6, prompt_len=500, max_new_tokens=5))
+        report = engine.run()
+        assert max(r.batch_size for r in report.metrics.iterations) <= 2
+        assert len(report.finished_requests) == 6
+
+
+class TestOnlineArrivals:
+    def test_engine_waits_for_arrivals(self):
+        engine = make_engine()
+        trace = fixed_trace(
+            count=2, prompt_len=500, max_new_tokens=3,
+            arrivals=[100.0, 200.0],
+        )
+        engine.submit(trace)
+        report = engine.run()
+        assert report.end_time >= 200.0
+        assert all(r.is_finished for r in report.requests)
+
+    def test_latency_includes_queueing(self):
+        engine = make_engine(max_batch_size=1)
+        trace = fixed_trace(count=3, prompt_len=16_384, max_new_tokens=3)
+        engine.submit(trace)
+        report = engine.run()
+        latencies = sorted(report.e2e_latencies())
+        # With batch 1, the third request waits for two full services.
+        assert latencies[2] > 2 * latencies[0] * 0.9
+
+
+class TestPreemption:
+    def test_oversubscribed_memory_preempts_and_completes(self):
+        # 3GB of KV: two 16K Yi-6B requests (1GB each) fit, but decode
+        # growth plus a third forces preemption; everything still ends.
+        engine = make_engine(
+            kv_budget_bytes=3 * GB,
+            max_batch_size=4,
+            eager_allocation=False,
+        )
+        engine.submit(fixed_trace(count=3, prompt_len=16_000, max_new_tokens=30))
+        report = engine.run()
+        assert len(report.finished_requests) == 3
+
+    def test_preempted_request_reruns_prefill(self):
+        engine = make_engine(
+            kv_budget_bytes=3 * GB, max_batch_size=4, eager_allocation=False
+        )
+        engine.submit(fixed_trace(count=3, prompt_len=16_000, max_new_tokens=30))
+        report = engine.run()
+        total_preemptions = sum(r.preemptions for r in report.requests)
+        prefills = len(report.metrics.of_phase("prefill"))
+        assert prefills == 3 + total_preemptions
+
+
+class TestBackendsProduceSameResults:
+    @pytest.mark.parametrize(
+        "backend,prefill,decode,block",
+        [
+            ("vattention", "fa2", "fa2", 16),
+            ("paged", "fa2_paged", "fa2_paged", 256),
+            ("paged", "fi_paged", "fi_paged", 16),
+            ("paged", "fa2", "vllm_paged", 16),
+            ("static", "fa2", "fa2", 16),
+        ],
+    )
+    def test_all_configurations_serve(self, backend, prefill, decode, block):
+        engine = make_engine(
+            memory_backend=backend,
+            prefill_kernel=prefill,
+            decode_kernel=decode,
+            block_size=block,
+            max_batch_size=1 if backend == "static" else 4,
+        )
+        count = 1 if backend == "static" else 4
+        engine.submit(fixed_trace(count=count, prompt_len=2000, max_new_tokens=5))
+        report = engine.run()
+        assert len(report.finished_requests) == count
+
+
+class TestH100:
+    def test_fa3_engine_runs_on_h100(self):
+        engine = make_engine(
+            gpu=H100, prefill_kernel="fa3", decode_kernel="fa3"
+        )
+        engine.submit(fixed_trace(count=2, prompt_len=8000, max_new_tokens=5))
+        report = engine.run()
+        assert len(report.finished_requests) == 2
+
+    def test_h100_faster_than_a100(self):
+        trace = fixed_trace(count=2, prompt_len=32_000, max_new_tokens=5)
+        a100 = make_engine()
+        a100.submit([t for t in trace])
+        a100_report = a100.run()
+        h100 = make_engine(gpu=H100)
+        h100.submit(fixed_trace(count=2, prompt_len=32_000, max_new_tokens=5))
+        h100_report = h100.run()
+        assert h100_report.makespan < a100_report.makespan

@@ -1,0 +1,87 @@
+"""Extension experiment drivers produce their claimed shapes."""
+
+import pytest
+
+from repro.experiments import (
+    ext_chunked_prefill,
+    ext_large_models,
+    ext_prefix_sharing,
+    ext_swap_policy,
+    ext_uvm_limitations,
+)
+from repro.units import KB, MB
+
+
+class TestPrefixSharing:
+    def test_majority_of_memory_dedupes(self):
+        rows = ext_prefix_sharing.run(page_group_sizes=(64 * KB, 2 * MB))
+        for row in rows:
+            assert row.reduction > 0.5
+            assert row.saved_bytes == (
+                row.physical_without_sharing - row.physical_with_sharing
+            )
+
+    def test_smaller_pages_share_more_precisely(self):
+        rows = {r.page_group_size: r for r in ext_prefix_sharing.run(
+            page_group_sizes=(64 * KB, 2 * MB)
+        )}
+        # At 64KB the 8192-token prefix aliases exactly; at 2MB part of
+        # it falls in a partial page-group and must be copied... unless
+        # the prefix happens to align. Either way 64KB saves at least
+        # as large a fraction.
+        assert rows[64 * KB].reduction >= rows[2 * MB].reduction - 1e-9
+
+
+class TestSwapPolicy:
+    def test_swap_advantage_grows_with_context(self):
+        rows = ext_swap_policy.run(prompts=(8_192, 32_768))
+        assert rows[-1].speedup >= rows[0].speedup
+        for row in rows:
+            assert row.swap_prefills <= row.recompute_prefills
+            assert row.swap_transfers >= 1
+
+
+class TestUvmLimitations:
+    def test_vattention_outlives_uvm(self):
+        rows = {r.backend: r for r in ext_uvm_limitations.run(
+            request_count=120, qps=6.0
+        )}
+        assert rows["vattention"].finished == 120
+        assert rows["uvm"].finished <= rows["vattention"].finished
+        # UVM cannot hand memory back: committed never drops below
+        # vAttention's working set.
+        assert rows["uvm"].final_committed >= rows["vattention"].final_committed
+
+
+class TestChunkedPrefill:
+    def test_stall_shrinks_with_chunk_size(self):
+        rows = {r.chunk_size: r for r in ext_chunked_prefill.run(
+            chunk_sizes=(None, 2_048)
+        )}
+        assert rows[None].worst_decode_stall > 5 * rows[2_048].worst_decode_stall
+
+    def test_makespan_preserved(self):
+        rows = ext_chunked_prefill.run(chunk_sizes=(None, 2_048))
+        makespans = [r.makespan for r in rows]
+        assert max(makespans) / min(makespans) < 1.1
+
+
+class TestLargeModels:
+    def test_kv_footprints(self):
+        rows = {r.model: r for r in ext_large_models.run()}
+        # 70B: 2(K,V) x 80 layers x 8 KV heads x 128 x 2B = 320KB/token.
+        assert rows["Llama-3-70B"].kv_bytes_per_token == 320 * KB
+        # GPT-3 has MHA (96 KV heads): 2 x 96 x 12288 x 2B = 4.5MB/token.
+        assert rows["GPT-3-175B"].kv_bytes_per_token == 4_718_592
+
+    def test_block_sizes_scale_with_heads(self):
+        rows = {r.model: r for r in ext_large_models.run()}
+        # 70B TP-8: 1 KV head/worker -> 2MB holds 8192 tokens.
+        assert rows["Llama-3-70B"].block_size[2 * MB] == 8_192
+        # 175B TP-8: 12 KV heads/worker -> 2MB holds 682 tokens.
+        assert rows["GPT-3-175B"].block_size[2 * MB] == 682
+
+    def test_virtual_memory_stays_feasible(self):
+        # Even at B=128 the per-worker VA stays far below 128TB.
+        for row in ext_large_models.run():
+            assert row.virtual_bytes_b128 < 128e12

@@ -1,0 +1,205 @@
+"""Memory backends: vAttention / Paged / Static behind the engine API."""
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.errors import ConfigError, SchedulingError
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.kernels.base import KvLayout
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.serving.memory import PagedMemory, StaticMemory, VAttentionMemory
+from repro.serving.request import Request, RequestState
+from repro.units import GB, MB
+
+
+def make_request(rid: str, prompt: int, decode: int = 10) -> Request:
+    request = Request(request_id=rid, prompt_len=prompt, max_new_tokens=decode)
+    request.state = RequestState.RUNNING
+    return request
+
+
+@pytest.fixture
+def shard():
+    return ShardedModel(YI_6B, 1)
+
+
+@pytest.fixture
+def device():
+    return Device(A100, reserved_bytes=64 * GB)  # 16GB KV budget
+
+
+class TestVAttentionBackend:
+    @pytest.fixture
+    def backend(self, device, shard):
+        config = VAttentionConfig(
+            shard=shard, max_batch_size=4, page_group_size=2 * MB
+        )
+        return VAttentionMemory(device, config)
+
+    def test_layout(self, backend):
+        assert backend.layout is KvLayout.CONTIGUOUS
+
+    def test_admit_assigns_reqid(self, backend):
+        request = make_request("r1", 1000)
+        assert backend.can_admit(request)
+        backend.admit(request)
+        assert request.memory_handle is not None
+
+    def test_prefill_then_decode_flow(self, backend):
+        request = make_request("r1", 5000)
+        backend.admit(request)
+        assert backend.prepare_iteration([request])
+        request.record_prefill(now=0.0)
+        assert backend.prepare_iteration([request])
+        backend.after_iteration(0.02)
+        backend.release(request)
+        assert request.memory_handle is None
+
+    def test_no_framework_overhead(self, backend):
+        # No Block-Table: the whole point of virtual contiguity.
+        request = make_request("r1", 1000)
+        backend.admit(request)
+        assert backend.framework_overhead([request]) == 0.0
+        assert backend.append_overhead(1000) == 0.0
+
+    def test_unadmitted_request_rejected(self, backend):
+        with pytest.raises(SchedulingError):
+            backend.prepare_iteration([make_request("ghost", 100)])
+
+    def test_oversized_prompt_not_admissible(self, backend, shard):
+        request = make_request("big", shard.max_context + 1)
+        assert not backend.can_admit(request)
+
+
+class TestPagedBackend:
+    @pytest.fixture
+    def backend(self, device, shard):
+        return PagedMemory(device, shard, block_size=16, library="vLLM")
+
+    def test_layout(self, backend):
+        assert backend.layout is KvLayout.PAGED
+
+    def test_pool_committed_up_front(self, device, shard):
+        before = device.pool.committed
+        PagedMemory(device, shard, block_size=16, library="vLLM")
+        # The whole block pool is cudaMalloc'd at startup.
+        assert device.pool.committed > before
+
+    def test_admit_and_grow(self, backend):
+        request = make_request("r1", 100)
+        backend.admit(request)
+        assert backend.prepare_iteration([request])
+        allocation = backend.blocks.allocation("r1")
+        assert allocation.num_blocks == backend.blocks.blocks_needed(100)
+
+    def test_block_table_cost_scales_with_batch(self, backend):
+        requests = []
+        for i in range(4):
+            request = make_request(f"r{i}", 1600)
+            backend.admit(request)
+            backend.prepare_iteration(requests + [request])
+            requests.append(request)
+        small = backend.framework_overhead(requests[:1])
+        large = backend.framework_overhead(requests)
+        assert large > small
+
+    def test_prefill_append_cost_positive_for_fi(self, device, shard):
+        backend = PagedMemory(device, shard, block_size=16, library="FlashInfer")
+        assert backend.append_overhead(16_384) > 0.0
+
+    def test_admission_reserves_prompt_blocks(self, backend):
+        request = make_request("r1", 16_000)
+        free_before = backend.blocks.free_blocks
+        backend.admit(request)
+        assert backend.blocks.free_blocks == (
+            free_before - backend.blocks.blocks_needed(16_000)
+        )
+
+    def test_oversized_prompt_not_admissible(self, shard):
+        tiny = Device(A100, reserved_bytes=79 * GB)  # 1GB of KV
+        backend = PagedMemory(tiny, shard, block_size=16, library="vLLM")
+        assert not backend.can_admit(make_request("big", 100_000))
+
+    def test_decode_growth_exhaustion_returns_false(self, shard):
+        tiny = Device(A100, reserved_bytes=79 * GB)  # 1GB of KV
+        backend = PagedMemory(tiny, shard, block_size=16, library="vLLM")
+        # Fill the pool exactly, then ask for one more token's block.
+        capacity_tokens = backend.blocks.num_blocks * 16
+        request = make_request("full", capacity_tokens)
+        backend.admit(request)
+        request.prefill_done = True
+        request.generated = 0
+        assert not backend.prepare_iteration([request])
+
+    def test_release_recycles_blocks(self, backend):
+        request = make_request("r1", 1000)
+        backend.admit(request)
+        backend.prepare_iteration([request])
+        free_before = backend.blocks.free_blocks
+        backend.release(request)
+        assert backend.blocks.free_blocks > free_before
+
+
+class TestStaticBackend:
+    def test_slots_bounded_by_memory(self, shard):
+        # 16GB budget / (200K tokens * 64KB) = 16GB / 12.2GB -> 1 slot.
+        device = Device(A100, reserved_bytes=64 * GB)
+        backend = StaticMemory(device, shard, max_batch_size=8)
+        assert backend.max_slots == 1
+
+    def test_fragmentation_is_total_commitment(self, shard):
+        device = Device(A100, reserved_bytes=64 * GB)
+        backend = StaticMemory(device, shard, max_batch_size=8)
+        # A slot commits max-context bytes regardless of use.
+        assert backend.committed_bytes >= (
+            shard.max_context * shard.kv_bytes_per_token
+        )
+
+    def test_admission_limited_by_slots(self, shard):
+        device = Device(A100, reserved_bytes=64 * GB)
+        backend = StaticMemory(device, shard, max_batch_size=8)
+        first = make_request("r1", 100)
+        backend.admit(first)
+        second = make_request("r2", 100)
+        assert not backend.can_admit(second)
+        with pytest.raises(SchedulingError):
+            backend.admit(second)
+
+    def test_release_frees_slot(self, shard):
+        device = Device(A100, reserved_bytes=64 * GB)
+        backend = StaticMemory(device, shard, max_batch_size=8)
+        request = make_request("r1", 100)
+        backend.admit(request)
+        backend.release(request)
+        assert backend.can_admit(make_request("r2", 100))
+
+    def test_too_small_device_rejected(self, shard):
+        tiny = Device(A100, reserved_bytes=79 * GB)
+        with pytest.raises(ConfigError):
+            StaticMemory(tiny, shard, max_batch_size=1)
+
+    def test_static_vs_dynamic_capacity_gap(self, shard):
+        # The motivating comparison: a 16GB budget holds ONE static
+        # max-context slot but dozens of real 2K-token requests under
+        # vAttention.
+        device = Device(A100, reserved_bytes=64 * GB)
+        static_slots = StaticMemory(device, shard, max_batch_size=64).max_slots
+        dynamic_device = Device(A100, reserved_bytes=64 * GB)
+        config = VAttentionConfig(
+            shard=shard, max_batch_size=64, page_group_size=2 * MB
+        )
+        backend = VAttentionMemory(dynamic_device, config)
+        admitted = 0
+        for i in range(64):
+            request = make_request(f"r{i}", 2000)
+            if not backend.can_admit(request):
+                break
+            backend.admit(request)
+            request.prefill_done = True
+            request.generated = 1
+            backend.prepare_iteration([request])
+            admitted += 1
+        assert static_slots == 1
+        assert admitted >= 32

@@ -1,0 +1,141 @@
+"""Statistics helpers and the metrics collector."""
+
+import pytest
+
+from repro.metrics.collector import IterationRecord, MetricsCollector, RunReport
+from repro.metrics.stats import (
+    cdf_at,
+    cdf_points,
+    geomean,
+    mean,
+    median,
+    percentile,
+    ratio,
+)
+from repro.serving.request import Request, RequestState
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_percentile_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_cdf_at(self):
+        assert cdf_at([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+
+    def test_ratio_guard(self):
+        assert ratio(4.0, 2.0) == 2.0
+        with pytest.raises(ValueError):
+            ratio(1.0, 0.0)
+
+
+def record(phase: str, latency: float, batch: int = 4, tokens: int = 4,
+           alloc: float = 0.0, start: float = 0.0) -> IterationRecord:
+    return IterationRecord(
+        start_time=start, phase=phase, batch_size=batch,
+        latency=latency, alloc_sync=alloc, tokens=tokens,
+    )
+
+
+class TestCollector:
+    def test_phase_filter(self):
+        collector = MetricsCollector()
+        collector.record(record("prefill", 1.0))
+        collector.record(record("decode", 0.01))
+        assert len(collector.of_phase("decode")) == 1
+
+    def test_decode_throughput(self):
+        collector = MetricsCollector()
+        collector.record(record("decode", 0.01, tokens=4))
+        collector.record(record("decode", 0.01, tokens=4))
+        assert collector.decode_throughput() == pytest.approx(400.0)
+
+    def test_prefill_throughput(self):
+        collector = MetricsCollector()
+        collector.record(record("prefill", 2.0, tokens=16_384))
+        assert collector.prefill_throughput() == pytest.approx(8192.0)
+
+    def test_empty_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().decode_throughput()
+
+    def test_spike_count(self):
+        collector = MetricsCollector()
+        collector.record(record("decode", 0.01, alloc=0.005))
+        collector.record(record("decode", 0.01, alloc=0.0))
+        assert collector.alloc_spike_iterations(threshold=0.001) == 1
+
+
+class TestRunReport:
+    def _finished_request(self, rid: str, arrival: float, finish: float) -> Request:
+        request = Request(request_id=rid, prompt_len=10, max_new_tokens=1,
+                          arrival_time=arrival)
+        request.state = RequestState.RUNNING
+        request.record_prefill(now=finish)
+        request.finish(now=finish)
+        return request
+
+    def test_requests_per_minute(self):
+        requests = [
+            self._finished_request("a", 0.0, 30.0),
+            self._finished_request("b", 0.0, 60.0),
+        ]
+        report = RunReport(
+            requests=requests, metrics=MetricsCollector(),
+            start_time=0.0, end_time=60.0,
+        )
+        assert report.requests_per_minute() == pytest.approx(2.0)
+
+    def test_latency_percentiles(self):
+        requests = [
+            self._finished_request("a", 0.0, 10.0),
+            self._finished_request("b", 0.0, 20.0),
+        ]
+        report = RunReport(
+            requests=requests, metrics=MetricsCollector(),
+            start_time=0.0, end_time=20.0,
+        )
+        assert report.median_latency() == pytest.approx(15.0)
+        assert report.p99_latency() <= 20.0
+
+    def test_unfinished_requests_excluded(self):
+        unfinished = Request(request_id="x", prompt_len=10, max_new_tokens=5)
+        report = RunReport(
+            requests=[unfinished, self._finished_request("a", 0.0, 5.0)],
+            metrics=MetricsCollector(), start_time=0.0, end_time=10.0,
+        )
+        assert len(report.finished_requests) == 1

@@ -1,0 +1,190 @@
+"""Prefix-sharing (page aliasing) extension: S8.1's de-duplication."""
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.core.sharing import tokens_shareable
+from repro.core.vattention import VAttention
+from repro.errors import SchedulingError
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.units import GB, MB
+
+
+def make_manager(batch=4, **flags):
+    device = Device(A100, reserved_bytes=40 * GB)
+    config = VAttentionConfig(
+        shard=ShardedModel(YI_6B, 1),
+        max_batch_size=batch,
+        page_group_size=2 * MB,  # 2048 tokens per page-group
+        eager_allocation=False,
+        overlap_allocation=False,
+        **flags,
+    )
+    return device, VAttention(device, config)
+
+
+def step_for(manager, assignments):
+    seq = [0] * manager.config.max_batch_size
+    for req, ctx in assignments.items():
+        seq[req] = ctx
+    return manager.step(seq)
+
+
+class TestShareMechanics:
+    def test_full_rows_aliased_partial_copied(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 5_000})
+        dst = manager.alloc_reqid()
+        result = manager.share_prefix(src, dst, 5_000)
+        assert result.shared_rows == 2  # 4096 of 5000 tokens aliased
+        assert result.copied_tokens == 5_000 - 4_096
+        assert not result.fully_aliased
+        assert manager.slots[dst].mapped_rows == 3  # 2 aliased + 1 copy
+
+    def test_boundary_prefix_fully_aliased(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        result = manager.share_prefix(src, dst, 4_096)
+        assert result.fully_aliased
+        assert result.copied_tokens == 0
+
+    def test_no_new_physical_memory_for_aliases(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        physical_before = manager.physical_rows_in_use
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        assert manager.physical_rows_in_use == physical_before
+        assert manager.dedup_saved_bytes == 2 * manager.config.row_bytes
+
+    def test_dst_suffix_allocates_normally(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        step_for(manager, {src: 4_096, dst: 6_000})
+        assert manager.slots[dst].mapped_rows == 3  # 2 shared + 1 own
+
+    def test_share_charges_mapping_latency(self):
+        device, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        before = device.clock.now
+        result = manager.share_prefix(src, dst, 4_096)
+        assert device.clock.now - before == pytest.approx(
+            result.latency_seconds
+        )
+        assert result.latency_seconds > 0  # aliasing is VMM calls, not free
+
+
+class TestShareValidation:
+    def test_prefix_must_be_resident(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 1_000})
+        dst = manager.alloc_reqid()
+        with pytest.raises(SchedulingError):
+            manager.share_prefix(src, dst, 2_000)
+
+    def test_dst_must_be_fresh(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        step_for(manager, {src: 4_096, dst: 100})
+        with pytest.raises(SchedulingError):
+            manager.share_prefix(src, dst, 4_096)
+
+    def test_self_share_rejected(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        with pytest.raises(SchedulingError):
+            manager.share_prefix(src, src, 4_096)
+
+    def test_inactive_parties_rejected(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        with pytest.raises(SchedulingError):
+            manager.share_prefix(src, 3, 4_096)
+
+
+class TestSharedLifetime:
+    def test_src_free_keeps_dst_usable(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        manager.free_reqid(src)
+        # dst still holds its 2 aliased rows; physical rows stay live.
+        assert manager.slots[dst].mapped_rows == 2
+        assert manager.physical_rows_in_use == 2
+
+    def test_last_user_frees_physical_rows(self):
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        manager.free_reqid(src)
+        manager.free_reqid(dst)
+        assert manager.physical_rows_in_use == 0
+        assert manager.dedup_saved_bytes == 0
+
+    def test_shared_rows_never_cached_for_reuse(self):
+        # A successor inheriting aliased rows would overwrite the other
+        # request's KV; the manager must release them on free instead.
+        _, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        manager.free_reqid(dst)
+        assert manager.slots[dst].mapped_rows == 0
+
+    def test_reclaim_of_aliased_rows_does_not_corrupt(self):
+        # Drive the pool to reclaim; detaching an alias must not hand
+        # the still-referenced handle to another request.
+        device, manager = make_manager(batch=3)
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        manager.free_reqid(src)  # src's aliased rows detach, refs drop to 1
+        third = manager.alloc_reqid()
+        step_for(manager, {dst: 4_096, third: 8_192})
+        # dst's prefix rows are still exactly its 2 aliased rows.
+        assert manager.slots[dst].mapped_rows == 2
+        manager.shutdown()
+        assert device.pool.committed == 0
+
+    def test_shutdown_with_shares_releases_everything(self):
+        device, manager = make_manager()
+        src = manager.alloc_reqid()
+        step_for(manager, {src: 4_096})
+        dst = manager.alloc_reqid()
+        manager.share_prefix(src, dst, 4_096)
+        manager.shutdown()
+        assert device.pool.committed == 0
+
+
+class TestHelpers:
+    def test_tokens_shareable(self):
+        assert tokens_shareable(5_000, 2_048) == 4_096
+        assert tokens_shareable(2_048, 2_048) == 2_048
+        assert tokens_shareable(100, 2_048) == 0
+
+    def test_tokens_shareable_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tokens_shareable(-1, 2_048)

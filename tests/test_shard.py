@@ -1,0 +1,104 @@
+"""Tensor-parallel sharding math, anchored to the paper's S5.1.3 example."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B, paper_deployment
+from repro.units import GB, KB, MB
+
+
+class TestPaperExample:
+    """S5.1.3 works through Yi-34B with TP-2 in detail."""
+
+    def test_yi34b_tp2_shapes(self):
+        shard = ShardedModel(YI_34B, 2)
+        assert shard.n_layers == 60
+        assert shard.kv_heads_per_worker == 4
+        assert shard.head_dim == 128
+        assert shard.dtype_bytes == 2
+
+    def test_yi34b_tp2_request_stride(self):
+        # S = L*H*D*P = 200K * 4 * 128 * 2 ~= 200MB (paper uses decimal).
+        shard = ShardedModel(YI_34B, 2)
+        s = shard.max_request_cache_bytes_per_layer()
+        assert s == 200_000 * 4 * 128 * 2
+        assert s == pytest.approx(200e6, rel=0.03)
+
+    def test_yi34b_tp2_buffer_size_b500(self):
+        # BS = B*S ~= 100GB for B=500; 120 buffers ~= 12TB total.
+        shard = ShardedModel(YI_34B, 2)
+        buffer = shard.buffer_size(500)
+        assert buffer == pytest.approx(100e9, rel=0.03)
+        assert shard.total_virtual_bytes(500) == 120 * buffer
+
+
+class TestShardingInvariants:
+    def test_tp1_equals_model(self):
+        shard = ShardedModel(YI_6B, 1)
+        assert shard.kv_bytes_per_token == YI_6B.kv_bytes_per_token
+
+    def test_tp2_halves_kv(self):
+        shard = ShardedModel(LLAMA3_8B, 2)
+        assert shard.kv_bytes_per_token == LLAMA3_8B.kv_bytes_per_token // 2
+
+    def test_tp_halves_flops(self):
+        full = ShardedModel(LLAMA3_8B, 1)
+        half = ShardedModel(LLAMA3_8B, 2)
+        assert half.linear_flops_per_token() == pytest.approx(
+            full.linear_flops_per_token() / 2
+        )
+        assert half.attention_flops_prefill(4096) == pytest.approx(
+            full.attention_flops_prefill(4096) / 2
+        )
+
+    def test_weight_bytes_split(self):
+        full = ShardedModel(YI_34B, 1)
+        half = ShardedModel(YI_34B, 2)
+        # Projections split; embeddings replicate, so strictly more than half.
+        assert half.weight_bytes_per_worker > full.weight_bytes_per_worker // 2
+        assert half.weight_bytes_per_worker < full.weight_bytes_per_worker
+
+    def test_indivisible_tp_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedModel(YI_6B, 8)  # 4 KV heads cannot split 8 ways
+
+    def test_nonpositive_tp_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedModel(YI_6B, 0)
+
+    def test_buffer_size_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            ShardedModel(YI_6B, 1).buffer_size(0)
+
+
+class TestBlockSizeMath:
+    """Table 8: tokens per page-group doubles with TP degree."""
+
+    def test_yi6b_tp1_2mb(self):
+        assert ShardedModel(YI_6B, 1).tokens_per_page_group(2 * MB) == 2048
+
+    def test_yi6b_tp2_2mb(self):
+        assert ShardedModel(YI_6B, 2).tokens_per_page_group(2 * MB) == 4096
+
+    def test_llama_tp1_64kb(self):
+        assert ShardedModel(LLAMA3_8B, 1).tokens_per_page_group(64 * KB) == 32
+
+    def test_yi34b_tp2_64kb(self):
+        assert ShardedModel(YI_34B, 2).tokens_per_page_group(64 * KB) == 64
+
+
+class TestPaperDeployment:
+    def test_deployments_match_table5(self):
+        assert paper_deployment(YI_6B).tp_degree == 1
+        assert paper_deployment(LLAMA3_8B).tp_degree == 2
+        assert paper_deployment(YI_34B).tp_degree == 2
+
+    def test_by_name(self):
+        assert paper_deployment("Yi-6B").model is YI_6B
+
+    def test_unknown_model_rejected(self):
+        from repro.models.zoo import GPT3_175B
+
+        with pytest.raises(ConfigError):
+            paper_deployment(GPT3_175B)

@@ -1,0 +1,89 @@
+"""Tensor slicing (S8.2) math and kernel compatibility."""
+
+import pytest
+
+from repro.core.slicing import (
+    block_size_tokens,
+    fragmentation_reduction_factor,
+    sliced_config,
+    supports_tensor_slicing,
+    table10_row,
+)
+from repro.errors import ConfigError
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from repro.units import MB
+
+
+class TestBlockSizes:
+    """Table 10 anchors."""
+
+    def test_yi6b_tp1(self):
+        shard = ShardedModel(YI_6B, 1)
+        assert block_size_tokens(shard, sliced=False) == 2048
+        assert block_size_tokens(shard, sliced=True) == 64
+
+    def test_llama_tp2(self):
+        shard = ShardedModel(LLAMA3_8B, 2)
+        assert block_size_tokens(shard, sliced=False) == 2048
+        assert block_size_tokens(shard, sliced=True) == 64
+
+    def test_yi34b_tp2(self):
+        shard = ShardedModel(YI_34B, 2)
+        assert block_size_tokens(shard, sliced=False) == 2048
+        assert block_size_tokens(shard, sliced=True) == 34
+
+    def test_reduction_is_layer_count(self):
+        shard = ShardedModel(YI_6B, 1)
+        assert fragmentation_reduction_factor(shard) == 32
+        row = table10_row(shard)
+        assert row["without_slicing"] // row["with_slicing"] == 32
+
+
+class TestSlicedConfig:
+    def test_two_tensors(self):
+        config = sliced_config(ShardedModel(YI_6B, 1), max_batch_size=8)
+        assert config.n_tensors == 2
+        assert config.tensor_slicing
+
+    def test_per_token_bytes_span_all_layers(self):
+        shard = ShardedModel(YI_6B, 1)
+        config = sliced_config(shard, max_batch_size=8)
+        assert config.bytes_per_token_per_tensor == (
+            shard.n_layers * shard.kv_heads_per_worker
+            * shard.head_dim * shard.dtype_bytes
+        )
+
+    def test_total_virtual_matches_unsliced(self):
+        # Slicing reorganizes the same bytes: 2 big tensors vs 2N small.
+        from repro.core.config import VAttentionConfig
+
+        shard = ShardedModel(YI_6B, 1)
+        sliced = sliced_config(shard, max_batch_size=8)
+        unsliced = VAttentionConfig(
+            shard=shard, max_batch_size=8, page_group_size=2 * MB
+        )
+        assert sliced.total_virtual_bytes == pytest.approx(
+            unsliced.total_virtual_bytes, rel=0.01
+        )
+
+    def test_row_bytes_smaller(self):
+        # One row (page-group in each tensor) is 2 pages, not 2N pages.
+        config = sliced_config(ShardedModel(YI_6B, 1), max_batch_size=8)
+        assert config.row_bytes == 2 * 2 * MB
+
+
+class TestKernelCompatibility:
+    def test_fa2_supports_strides(self):
+        assert supports_tensor_slicing("FlashAttention-2")
+        assert supports_tensor_slicing("FlashAttention-3")
+
+    def test_early_flashinfer_does_not(self):
+        # The reason the paper added small pages to the driver instead
+        # of relying on slicing alone (S8.2).
+        assert not supports_tensor_slicing("FlashInfer")
+        assert not supports_tensor_slicing("vLLM")
+
+    def test_unknown_library(self):
+        with pytest.raises(ConfigError):
+            supports_tensor_slicing("Triton")

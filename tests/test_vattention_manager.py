@@ -1,0 +1,321 @@
+"""VAttention manager: the Table 4 API and the S6 optimizations."""
+
+import pytest
+
+from repro.core.config import VAttentionConfig
+from repro.core.vattention import VAttention
+from repro.errors import SchedulingError
+from repro.gpu.device import Device
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from repro.units import GB, KB, MB, us
+
+
+def make_manager(
+    model=YI_6B,
+    tp=1,
+    batch=8,
+    page_group=2 * MB,
+    reserved=80 * GB - 16 * GB,  # 16GB of KV budget
+    **flags,
+):
+    device = Device(A100, reserved_bytes=reserved)
+    config = VAttentionConfig(
+        shard=ShardedModel(model, tp),
+        max_batch_size=batch,
+        page_group_size=page_group,
+        **flags,
+    )
+    return device, config, VAttention(device, config)
+
+
+def step_for(manager, req_id, ctx):
+    seq = [0] * manager.config.max_batch_size
+    seq[req_id] = ctx
+    return manager.step(seq)
+
+
+class TestInit:
+    def test_reserves_2n_virtual_buffers(self):
+        _, config, manager = make_manager()
+        assert len(manager.buffers) == 64
+        assert all(b.size == config.buffer_bytes for b in manager.buffers)
+
+    def test_precreates_physical_rows(self):
+        device, config, manager = make_manager()
+        assert manager.total_rows == manager.free_rows
+        assert device.pool.committed == manager.total_rows * config.row_bytes
+
+    def test_rows_capped_by_max_demand(self):
+        # A single-slot batch can never use more rows than one full
+        # request, however large the pool.
+        _, config, manager = make_manager(batch=1, reserved=0)
+        assert manager.total_rows == config.rows_per_full_request
+
+
+class TestReqIdLifecycle:
+    def test_alloc_returns_valid_ids(self):
+        _, _, manager = make_manager(batch=4)
+        ids = {manager.alloc_reqid() for _ in range(4)}
+        assert ids == {0, 1, 2, 3}
+
+    def test_exhausted_slots_raise(self):
+        _, _, manager = make_manager(batch=2)
+        manager.alloc_reqid()
+        manager.alloc_reqid()
+        with pytest.raises(SchedulingError):
+            manager.alloc_reqid()
+
+    def test_free_then_realloc(self):
+        _, _, manager = make_manager(batch=2, eager_allocation=False)
+        req = manager.alloc_reqid()
+        manager.free_reqid(req)
+        assert manager.alloc_reqid() == req  # reuse preferred
+
+    def test_double_free_rejected(self):
+        _, _, manager = make_manager()
+        req = manager.alloc_reqid()
+        manager.free_reqid(req)
+        with pytest.raises(SchedulingError):
+            manager.free_reqid(req)
+
+    def test_free_unknown_rejected(self):
+        _, _, manager = make_manager()
+        with pytest.raises(SchedulingError):
+            manager.free_reqid(99)
+
+
+class TestStep:
+    def test_maps_rows_for_context(self):
+        _, config, manager = make_manager(eager_allocation=False)
+        req = manager.alloc_reqid()
+        assert step_for(manager, req, 5000) == 0
+        # 5000 tokens at 2048 tokens/page-group -> 3 rows.
+        assert manager.slots[req].mapped_rows == 3
+
+    def test_step_is_incremental(self):
+        _, _, manager = make_manager(eager_allocation=False)
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2048)
+        assert manager.stats.rows_mapped == 1
+        step_for(manager, req, 2049)
+        assert manager.stats.rows_mapped == 2
+
+    def test_no_growth_no_work(self):
+        _, _, manager = make_manager(eager_allocation=False)
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2000)
+        before = manager.stats.map_calls
+        step_for(manager, req, 2001)  # same page-group
+        assert manager.stats.map_calls == before
+
+    def test_wrong_length_rejected(self):
+        _, _, manager = make_manager()
+        with pytest.raises(SchedulingError):
+            manager.step([0, 0])
+
+    def test_inactive_nonzero_rejected(self):
+        _, _, manager = make_manager()
+        seq = [0] * 8
+        seq[3] = 100
+        with pytest.raises(SchedulingError):
+            manager.step(seq)
+
+    def test_shrinking_context_rejected(self):
+        _, _, manager = make_manager()
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2000)
+        with pytest.raises(SchedulingError):
+            step_for(manager, req, 1000)
+
+    def test_over_max_context_rejected(self):
+        _, _, manager = make_manager()
+        req = manager.alloc_reqid()
+        with pytest.raises(SchedulingError):
+            step_for(manager, req, 300_000)
+
+    def test_failure_returns_minus_one(self):
+        # 16GB budget / 128MB rows = 125 rows; a 192K-token request
+        # needs 94 of them, so a second one cannot fit.
+        _, _, manager = make_manager(batch=2, eager_allocation=False)
+        first = manager.alloc_reqid()
+        assert step_for(manager, first, 192_000) == 0
+        second = manager.alloc_reqid()
+        seq = [0] * 2
+        seq[first] = 192_000
+        seq[second] = 192_000
+        assert manager.step(seq) == -1
+        assert manager.stats.step_failures == 1
+
+
+class TestSynchronousLatency:
+    def test_paper_s6_example_yi34b_one_row(self):
+        # Growing one Yi-34B request by one page-group row = 120 calls
+        # of cuMemMap+cuMemSetAccess at ~40us ~= 5ms (paper S6.1).
+        _, _, manager = make_manager(
+            model=YI_34B, tp=2, batch=2,
+            eager_allocation=False, overlap_allocation=False,
+            reserved=40 * GB,
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 1)  # maps exactly one row
+        assert manager.stats.last_step_sync_seconds == pytest.approx(
+            120 * us(40)
+        )
+
+    def test_small_pages_charge_vmemmap_rate(self):
+        _, _, manager = make_manager(
+            page_group=64 * KB,
+            eager_allocation=False, overlap_allocation=False,
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 64)  # one 64-token row, 64 tensors
+        assert manager.stats.last_step_sync_seconds == pytest.approx(
+            64 * us(8)
+        )
+
+
+class TestDeferredReclamation:
+    def test_next_request_inherits_pages(self):
+        _, _, manager = make_manager(eager_allocation=False)
+        first = manager.alloc_reqid()
+        step_for(manager, first, 10_000)
+        rows = manager.slots[first].mapped_rows
+        manager.free_reqid(first)
+        second = manager.alloc_reqid()
+        assert second == first
+        assert manager.slots[second].mapped_rows == rows
+        assert manager.stats.reqids_reused_with_memory == 1
+
+    def test_inherited_prefill_is_free(self):
+        _, _, manager = make_manager(
+            eager_allocation=False, overlap_allocation=False
+        )
+        first = manager.alloc_reqid()
+        step_for(manager, first, 10_000)
+        manager.free_reqid(first)
+        second = manager.alloc_reqid()
+        maps_before = manager.stats.map_calls
+        step_for(manager, second, 10_000)
+        assert manager.stats.map_calls == maps_before  # fully reused
+        assert manager.stats.last_step_sync_seconds == 0.0
+
+    def test_larger_follower_pays_only_the_difference(self):
+        _, config, manager = make_manager(
+            eager_allocation=False, overlap_allocation=False
+        )
+        first = manager.alloc_reqid()
+        step_for(manager, first, 4096)  # 2 rows
+        manager.free_reqid(first)
+        second = manager.alloc_reqid()
+        step_for(manager, second, 8192)  # needs 4 rows, inherits 2
+        assert manager.stats.rows_mapped == 4
+
+    def test_disabled_unmaps_on_free(self):
+        _, _, manager = make_manager(
+            deferred_reclamation=False, eager_allocation=False
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 10_000)
+        manager.free_reqid(req)
+        assert manager.slots[req].mapped_rows == 0
+        assert manager.stats.rows_unmapped == manager.stats.rows_mapped
+
+
+class TestEagerAllocation:
+    def test_next_candidate_gets_pages(self):
+        _, config, manager = make_manager(eager_allocation=True)
+        manager.alloc_reqid()
+        manager.on_iteration_end(1.0)  # let the background work land
+        candidates = [s for s in manager.slots if not s.active]
+        assert max(s.mapped_rows for s in candidates) == config.eager_page_groups
+
+    def test_eager_work_is_opportunistic(self):
+        _, _, manager = make_manager(eager_allocation=True)
+        req = manager.alloc_reqid()
+        # Eager mapping latency must not spill into step() sync time.
+        assert step_for(manager, req, 100) == 0
+        assert manager.background.critical_pending == 0.0
+        assert manager.background.opportunistic_pending > 0.0
+
+
+class TestOverlap:
+    def test_predicted_growth_runs_in_background(self):
+        _, _, manager = make_manager(
+            eager_allocation=False, overlap_allocation=True
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2048)  # boundary: next token needs a row
+        manager.on_iteration_end(1.0)  # plenty of compute to hide it
+        assert step_for(manager, req, 2049) == 0
+        assert manager.stats.last_step_sync_seconds == 0.0
+
+    def test_short_window_spills_residual(self):
+        _, _, manager = make_manager(
+            eager_allocation=False, overlap_allocation=True
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2048)
+        manager.on_iteration_end(0.0)  # no time to hide anything
+        step_for(manager, req, 2049)
+        assert manager.stats.last_step_sync_seconds > 0.0
+
+    def test_disabled_overlap_charges_step(self):
+        _, _, manager = make_manager(
+            eager_allocation=False, overlap_allocation=False
+        )
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2048)
+        manager.on_iteration_end(1.0)
+        step_for(manager, req, 2049)
+        assert manager.stats.last_step_sync_seconds > 0.0
+
+
+class TestReclamationThreshold:
+    def test_free_pool_replenished_from_inactive(self):
+        _, _, manager = make_manager(
+            batch=4, eager_allocation=False, reclamation_threshold=0.5
+        )
+        req = manager.alloc_reqid()
+        # Consume well past half the rows, then free the request.
+        target = int(manager.total_rows * 0.9) * 2048
+        step_for(manager, req, min(target, 192_000))
+        manager.free_reqid(req)
+        manager.on_iteration_end(10.0)
+        assert manager.free_rows >= int(
+            manager.total_rows * manager.config.reclamation_threshold
+        )
+
+
+class TestAccounting:
+    def test_fragmentation_bounded_by_one_row(self):
+        _, config, manager = make_manager(eager_allocation=False)
+        req = manager.alloc_reqid()
+        step_for(manager, req, 2049)  # 2 rows for 2049 tokens
+        waste = manager.internal_fragmentation_bytes
+        assert 0 < waste < config.row_bytes
+
+    def test_used_plus_waste_equals_mapped_for_active(self):
+        _, config, manager = make_manager(eager_allocation=False)
+        req = manager.alloc_reqid()
+        step_for(manager, req, 3000)
+        active_mapped = manager.slots[req].mapped_rows * config.row_bytes
+        assert manager.used_bytes + manager.internal_fragmentation_bytes == (
+            active_mapped
+        )
+
+    def test_shutdown_releases_everything(self):
+        device, _, manager = make_manager()
+        req = manager.alloc_reqid()
+        step_for(manager, req, 10_000)
+        manager.shutdown()
+        assert device.pool.committed == 0
+        assert device.va_space.reserved_bytes == 0
+        with pytest.raises(SchedulingError):
+            manager.alloc_reqid()
+
+    def test_shutdown_idempotent(self):
+        _, _, manager = make_manager()
+        manager.shutdown()
+        manager.shutdown()

@@ -1,0 +1,145 @@
+"""Workload traces: distribution bounds, determinism, arrival processes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.arrival import (
+    batch_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.traces import (
+    ARXIV_OFFLINE_COUNT,
+    ARXIV_ONLINE_COUNT,
+    TraceSpec,
+    arxiv_offline_trace,
+    arxiv_online_trace,
+    fixed_trace,
+    openchat_trace,
+    trace_statistics,
+)
+
+
+class TestArrivals:
+    def test_poisson_is_sorted_and_positive(self):
+        arrivals = poisson_arrivals(qps=2.0, count=100, seed=1)
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_poisson_mean_rate(self):
+        arrivals = poisson_arrivals(qps=5.0, count=5000, seed=2)
+        observed_qps = len(arrivals) / arrivals[-1]
+        assert observed_qps == pytest.approx(5.0, rel=0.1)
+
+    def test_poisson_deterministic_by_seed(self):
+        assert poisson_arrivals(1.0, 10, seed=3) == poisson_arrivals(1.0, 10, seed=3)
+        assert poisson_arrivals(1.0, 10, seed=3) != poisson_arrivals(1.0, 10, seed=4)
+
+    def test_uniform_gap(self):
+        arrivals = uniform_arrivals(qps=4.0, count=4)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(g == pytest.approx(0.25) for g in gaps)
+
+    def test_batch_all_at_start(self):
+        assert batch_arrivals(3, start=7.0) == [7.0, 7.0, 7.0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0, 10, seed=1)
+        with pytest.raises(ConfigError):
+            uniform_arrivals(1.0, 0)
+        with pytest.raises(ConfigError):
+            batch_arrivals(0)
+
+
+class TestTraceSpec:
+    def test_sample_respects_bounds(self):
+        import random
+
+        spec = TraceSpec(low=100, high=1000, mean=300)
+        rng = random.Random(0)
+        samples = [spec.sample(rng) for _ in range(1000)]
+        assert all(100 <= s <= 1000 for s in samples)
+
+    def test_mean_roughly_holds(self):
+        import random
+
+        spec = TraceSpec(low=1, high=100_000, mean=500)
+        rng = random.Random(0)
+        samples = [spec.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(500, rel=0.25)
+
+    def test_mean_outside_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceSpec(low=100, high=200, mean=50)
+
+
+class TestArxivOffline:
+    """S7.3: 427 requests, context 64K-192K, decode 17-5153, P:D ~ 356."""
+
+    def test_paper_scale(self):
+        trace = arxiv_offline_trace()
+        stats = trace_statistics(trace)
+        assert stats["count"] == ARXIV_OFFLINE_COUNT == 427
+        assert stats["prompt_min"] >= 60_000
+        assert stats["prompt_max"] <= 192_000
+        assert stats["decode_min"] >= 17
+        assert stats["decode_max"] <= 5_153
+
+    def test_prefill_dominated(self):
+        stats = trace_statistics(arxiv_offline_trace())
+        assert stats["pd_ratio"] > 100  # strongly prefill-bound
+
+    def test_deterministic(self):
+        a = arxiv_offline_trace(seed=7)
+        b = arxiv_offline_trace(seed=7)
+        assert [(r.prompt_len, r.max_new_tokens) for r in a] == [
+            (r.prompt_len, r.max_new_tokens) for r in b
+        ]
+
+    def test_total_length_respects_model_context(self):
+        trace = arxiv_offline_trace(max_context=200_000)
+        assert all(r.total_len <= 200_000 for r in trace)
+
+
+class TestArxivOnline:
+    """S7.4: input 22K-45K (mean 29K), decode 6-3250 (mean 348)."""
+
+    def test_paper_statistics(self):
+        arrivals = poisson_arrivals(0.25, ARXIV_ONLINE_COUNT, seed=1)
+        stats = trace_statistics(arxiv_online_trace(arrivals))
+        assert stats["count"] == 512
+        assert 22_000 <= stats["prompt_min"]
+        assert stats["prompt_max"] <= 45_000
+        assert stats["prompt_mean"] == pytest.approx(29_000, rel=0.15)
+        assert stats["decode_mean"] == pytest.approx(348, rel=0.35)
+
+    def test_arrivals_attached(self):
+        arrivals = poisson_arrivals(0.25, 10, seed=1)
+        trace = arxiv_online_trace(arrivals)
+        assert [r.arrival_time for r in trace] == arrivals
+
+
+class TestOpenChat:
+    def test_chat_scale_lengths(self):
+        arrivals = batch_arrivals(200)
+        stats = trace_statistics(openchat_trace(arrivals))
+        assert stats["prompt_max"] <= 8_192
+        assert stats["prompt_mean"] < 2_000  # chat prompts are short
+
+    def test_arrival_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            openchat_trace([1.0, 2.0], seed=1)[0]
+            arxiv_online_trace([])
+
+
+class TestFixedTrace:
+    def test_homogeneous(self):
+        trace = fixed_trace(count=4, prompt_len=100, max_new_tokens=10)
+        assert len(trace) == 4
+        assert all(r.prompt_len == 100 for r in trace)
+        assert len({r.request_id for r in trace}) == 4
+
+    def test_stats_reject_empty(self):
+        with pytest.raises(ConfigError):
+            trace_statistics([])
