@@ -5,7 +5,7 @@ reduced to 100 requests. Use ``driver.run()`` for the complete grid.
 """
 
 from repro.experiments import fig10_online_latency as driver
-from repro.models.zoo import LLAMA3_8B, YI_6B
+from repro.models.zoo import YI_6B
 
 
 def _run_pair():

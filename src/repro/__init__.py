@@ -16,6 +16,8 @@ This package implements the full system on a simulated GPU substrate:
   Block-Table costs),
 * :mod:`repro.core` — vAttention itself (Table 4 API, background
   allocation, deferred reclamation, tensor slicing),
+* :mod:`repro.cache` — radix-tree prefix cache: automatic KV reuse via
+  physical page aliasing (S8.1 as a subsystem),
 * :mod:`repro.serving` — the continuous-batching engine (Algorithm 1),
 * :mod:`repro.workloads` / :mod:`repro.metrics` — traces and metrics,
 * :mod:`repro.experiments` — one driver per paper table/figure.
@@ -31,12 +33,13 @@ Quickstart::
     print(report.metrics.decode_throughput(), "tokens/s")
 """
 
+from .cache import PrefixCacheManager, RadixTree
 from .core import VAttention, VAttentionConfig
 from .errors import ReproError
 from .experiments.common import PAPER_CONFIGS, paper_engine
 from .gpu import A100, H100, Device
 from .models import LLAMA3_8B, YI_34B, YI_6B, ShardedModel, paper_deployment
-from .serving import EngineConfig, LLMEngine, Request
+from .serving import EngineConfig, LLMEngine, PrefixDescriptor, Request
 
 __version__ = "1.0.0"
 
@@ -48,6 +51,9 @@ __all__ = [
     "LLAMA3_8B",
     "LLMEngine",
     "PAPER_CONFIGS",
+    "PrefixCacheManager",
+    "PrefixDescriptor",
+    "RadixTree",
     "ReproError",
     "Request",
     "ShardedModel",

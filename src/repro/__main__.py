@@ -36,6 +36,11 @@ EXPERIMENTS: Dict[str, tuple] = {
     "tab09": ("tab09_alloc_bandwidth", "allocation bandwidth", False),
     "tab10": ("tab10_tensor_slicing", "tensor-slicing block sizes", False),
     "ext-sharing": ("ext_prefix_sharing", "extension: prefix KV dedup", False),
+    "ext-prefix-cache": (
+        "ext_prefix_cache",
+        "extension: radix-tree prefix cache",
+        False,
+    ),
     "ext-swap": ("ext_swap_policy", "extension: swap vs recompute", False),
     "ext-uvm": ("ext_uvm_limitations", "extension: unified-memory strawman", True),
     "ext-chunked": ("ext_chunked_prefill", "extension: chunked prefill stalls", False),
@@ -52,7 +57,11 @@ def list_experiments() -> None:
 
 def run_experiments(names: List[str]) -> int:
     """Run the named experiments' ``main()`` printers."""
-    selected = list(EXPERIMENTS) if names == ["all"] else names
+    if names == ["all"]:
+        selected = list(EXPERIMENTS)
+    else:
+        # Accept module-style names too (ext_prefix_cache == ext-prefix-cache).
+        selected = [n.replace("_", "-") for n in names]
     unknown = [n for n in selected if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)

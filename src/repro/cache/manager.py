@@ -1,0 +1,348 @@
+"""Engine-integrated automatic KV prefix reuse over vAttention.
+
+:class:`PrefixCacheManager` is a :class:`~repro.serving.memory.
+MemoryBackend` that wraps :class:`~repro.serving.memory.
+VAttentionMemory` and adds RadixAttention-style behaviour:
+
+* When a request is about to prefill, its prompt token ids are matched
+  against the radix tree; the longest cached prefix is **aliased** into
+  the request's sub-tensors through the existing
+  :meth:`~repro.core.vattention.VAttention.share_prefix` machinery —
+  full page-group rows are zero-copy aliases, the partial tail row is a
+  copy-on-write copy (:mod:`repro.core.sharing`). The engine then skips
+  the aliased portion's prefill compute.
+* When a request's prefill completes, its resident prompt KV is
+  registered as a *live* entry, so concurrent requests in the same
+  batch can reuse it immediately.
+* When a request finishes, its slot is **retained by the cache**
+  instead of freed (the live entry becomes cache-owned), bounded by an
+  optional byte budget.
+* Under memory pressure — an admission that does not fit, or a
+  ``prepare_iteration`` that would otherwise force a preemption —
+  unreferenced cache-owned entries are evicted LRU-first, returning
+  their page-group rows to the pool before the engine resorts to
+  preempting a running request.
+
+The wrapper reserves extra vAttention request slots for cache-owned
+prefixes, so a full cache never starves the running batch of reqIds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import SchedulingError
+from ..kernels.base import KvLayout
+from ..serving.memory import MemoryBackend, VAttentionMemory
+from ..serving.request import Request
+from .radix import PrefixEntry, RadixTree
+
+
+@dataclass
+class PrefixCacheStats:
+    """Manager-level counters (the tree keeps its own lookup stats)."""
+
+    #: Page-group rows aliased zero-copy across all hits.
+    aliased_rows: int = 0
+    #: Tokens copied at copy-on-write tails across all hits.
+    copied_tokens: int = 0
+    #: Cumulative physical bytes saved by aliasing instead of re-backing.
+    bytes_saved: int = 0
+    #: Critical-path seconds spent on alias mappings and tail copies.
+    alias_seconds: float = 0.0
+    #: Finished requests whose prefixes were retained by the cache.
+    retained: int = 0
+    #: Cache-owned entries evicted under pressure or budget.
+    evictions: int = 0
+    #: Page-group rows released by those evictions.
+    evicted_rows: int = 0
+
+
+@dataclass(frozen=True)
+class PrefixCacheReport:
+    """Snapshot of the prefix cache for a run report."""
+
+    lookups: int
+    hits: int
+    misses: int
+    hit_rate: float
+    hit_tokens: int
+    aliased_rows: int
+    copied_tokens: int
+    bytes_saved: int
+    #: Physical bytes currently deduplicated by row aliasing.
+    dedup_bytes_now: int
+    insertions: int
+    retained: int
+    evictions: int
+    evicted_rows: int
+    entries: int
+    live_entries: int
+    cached_tokens: int
+    cached_bytes: int
+
+
+class PrefixCacheManager(MemoryBackend):
+    """Radix-tree prefix cache between the engine and vAttention."""
+
+    layout = KvLayout.CONTIGUOUS
+
+    def __init__(
+        self,
+        inner: VAttentionMemory,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.inner = inner
+        self.budget_bytes = budget_bytes
+        self.tree = RadixTree()
+        self.stats = PrefixCacheStats()
+        #: request_id -> entry it borrowed a prefix from (ref-counted).
+        self._sources: Dict[str, PrefixEntry] = {}
+        #: request_id -> its own live entry (inserted at prefill end).
+        self._live: Dict[str, PrefixEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def _vat(self):
+        return self.inner.manager
+
+    @property
+    def manager(self):
+        """The underlying :class:`~repro.core.vattention.VAttention`.
+
+        Exposed so introspection written against the plain vattention
+        backend (``engine.memory.manager``) keeps working with the
+        cache wrapper in place.
+        """
+        return self.inner.manager
+
+    @property
+    def clock(self):
+        return self._vat.clock
+
+    def _entry_rows(self, entry: PrefixEntry) -> int:
+        return self._vat.slots[entry.slot].mapped_rows
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes mapped into cache-owned (not live) entries' slots.
+
+        A row aliased by several cached entries counts once per entry —
+        this is the *mapped* footprint the budget bounds; the physical
+        savings from aliasing are reported separately (``bytes_saved``,
+        ``dedup_bytes_now``).
+        """
+        row_bytes = self._vat.config.row_bytes
+        return sum(
+            self._entry_rows(e) * row_bytes
+            for e in self.tree.entries
+            if not e.live
+        )
+
+    def report(self) -> PrefixCacheReport:
+        """Snapshot of every cache statistic for the run report."""
+        tree = self.tree.stats
+        entries = self.tree.entries
+        live = sum(1 for e in entries if e.live)
+        return PrefixCacheReport(
+            lookups=tree.lookups,
+            hits=tree.hits,
+            misses=tree.misses,
+            hit_rate=tree.hit_rate,
+            hit_tokens=tree.hit_tokens,
+            aliased_rows=self.stats.aliased_rows,
+            copied_tokens=self.stats.copied_tokens,
+            bytes_saved=self.stats.bytes_saved,
+            dedup_bytes_now=self._vat.dedup_saved_bytes,
+            insertions=tree.insertions,
+            retained=self.stats.retained,
+            evictions=self.stats.evictions,
+            evicted_rows=self.stats.evicted_rows,
+            entries=len(entries),
+            live_entries=live,
+            cached_tokens=self.tree.cached_tokens,
+            cached_bytes=self.cached_bytes,
+        )
+
+    def cache_report(self) -> Optional[PrefixCacheReport]:
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _evict_entry(self, victim: PrefixEntry) -> int:
+        """Drop a cache-owned entry and free its slot; returns its rows."""
+        rows = self._entry_rows(victim)
+        self.tree.evict(victim)
+        # free_reqid leaves the rows on the now-inactive slot (deferred
+        # reclamation), where the allocator can reclaim them on demand —
+        # or unmaps immediately if any row is still aliased elsewhere.
+        self._vat.free_reqid(victim.slot)
+        self.stats.evictions += 1
+        self.stats.evicted_rows += rows
+        return rows
+
+    def _evict_one(self) -> bool:
+        """Free the LRU unreferenced cache-owned entry; False if none."""
+        victim = self.tree.lru_victim()
+        if victim is None:
+            return False
+        self._evict_entry(victim)
+        return True
+
+    def _enforce_budget(self) -> None:
+        if self.budget_bytes is None:
+            return
+        # cached_bytes walks every entry; compute the overshoot once
+        # and track it through the evictions instead of re-walking.
+        row_bytes = self._vat.config.row_bytes
+        excess = self.cached_bytes - self.budget_bytes
+        while excess > 0:
+            victim = self.tree.lru_victim()
+            if victim is None:
+                break
+            excess -= self._evict_entry(victim) * row_bytes
+
+    # ------------------------------------------------------------------
+    # MemoryBackend interface
+    # ------------------------------------------------------------------
+    def can_admit(self, request: Request) -> bool:
+        if request.resident_tokens_needed > self._vat.config.shard.max_context:
+            return False  # eviction can never help an oversized prompt
+        # Admission pressure is the cache's cue to shrink: release
+        # reqIds and rows before the engine gives up on the request.
+        while not self.inner.can_admit(request):
+            if not self._evict_one():
+                return False
+        return True
+
+    def admit(self, request: Request) -> None:
+        while not self._vat.has_free_reqid():
+            if not self._evict_one():
+                raise SchedulingError(
+                    "no free reqId and no evictable cached prefix"
+                )
+        self.inner.admit(request)
+
+    def before_prefill(self, request: Request) -> None:
+        """Alias the longest cached prefix into a request about to
+        prefill (called before the iteration's memory preparation)."""
+        if (
+            request.prefix is None
+            or request.memory_handle is None
+            or request.prefill_done
+            or request.prefilled_tokens > 0
+        ):
+            return
+        if self._vat.slots[request.memory_handle].context_len:
+            # The prompt was already backed (a mixed iteration prepared
+            # it after a cache miss); aliasing over written KV is no
+            # longer possible.
+            return
+        # Keep at least one prompt token to compute: the prefill
+        # iteration must still run to produce the first output token.
+        entry, matched = self.tree.match_prefix(
+            request.prefix.token_ids,
+            now=self.clock.now,
+            limit=request.prompt_len - 1,
+        )
+        if entry is None:
+            return
+        # Clamp to what the source slot physically backs — under severe
+        # pressure the allocator may have reclaimed rows from a slot
+        # faster than its bookkeeping caught up (it re-backs lazily),
+        # and aliasing must never hand out unbacked tokens.
+        source = self._vat.slots[entry.slot]
+        matched = min(
+            matched,
+            source.context_len,
+            source.mapped_rows * self._vat.config.tokens_per_page_group,
+        )
+        if matched <= 0:
+            return
+        result = self._vat.share_prefix(
+            entry.slot, request.memory_handle, matched
+        )
+        request.apply_cached_prefix(result.prefix_tokens)
+        entry.ref_count += 1
+        self._sources[request.request_id] = entry
+        self.stats.aliased_rows += result.shared_rows
+        self.stats.copied_tokens += result.copied_tokens
+        self.stats.bytes_saved += result.saved_bytes
+        self.stats.alias_seconds += result.latency_seconds
+        # The aliased rows shrink the request's outstanding promise.
+        self.inner.refresh_promise(request)
+
+    def note_prefill_complete(self, request: Request) -> None:
+        """Register a just-prefilled request's prompt KV as reusable."""
+        if request.prefix is None or request.memory_handle is None:
+            return
+        # The descriptor never outgrows the prompt (validated at
+        # construction, and prompts only grow on preemption).
+        entry = self.tree.insert(
+            request.prefix.token_ids,
+            slot=request.memory_handle,
+            group=request.prefix.group,
+            live=True,
+            now=self.clock.now,
+        )
+        if entry is not None:
+            self._live[request.request_id] = entry
+
+    def prepare_iteration(self, batch) -> bool:
+        # Evict cached prefixes before the engine resorts to preemption.
+        while True:
+            if self.inner.prepare_iteration(batch):
+                return True
+            if not self._evict_one():
+                return False
+
+    def _deref_source(self, request: Request) -> None:
+        """Release the request's borrow on its alias-source entry."""
+        source = self._sources.pop(request.request_id, None)
+        if source is not None:
+            source.ref_count -= 1
+
+    def release(self, request: Request) -> None:
+        """Preemption (or external) release: nothing is retained."""
+        self._deref_source(request)
+        live = self._live.pop(request.request_id, None)
+        if live is not None:
+            # The owner's KV is going away; the index must forget it
+            # (physical rows already aliased elsewhere stay refcounted).
+            self.tree.remove(live)
+        self.inner.release(request)
+
+    def retire(self, request: Request) -> None:
+        """Finished request: keep its prefix resident instead of freeing."""
+        self._deref_source(request)
+        live = self._live.pop(request.request_id, None)
+        if live is None:
+            # Nothing indexable (no token ids, or a duplicate of an
+            # already-cached prefix): free normally.
+            self.inner.release(request)
+            return
+        live.live = False
+        live.last_access = self.clock.now
+        handle = self.inner.detach(request)
+        if handle != live.slot:  # pragma: no cover - defensive
+            raise SchedulingError(
+                f"{request.request_id}: slot {handle} does not match "
+                f"cache entry slot {live.slot}"
+            )
+        # Retain only the shareable prompt rows, not the decode tail.
+        self._vat.trim_slot(handle, live.tokens)
+        self.stats.retained += 1
+        self._enforce_budget()
+
+    def after_iteration(self, iteration_seconds: float) -> None:
+        self.inner.after_iteration(iteration_seconds)
+
+    def framework_overhead(self, running) -> float:
+        return self.inner.framework_overhead(running)
+
+    def append_overhead(self, new_tokens: int) -> float:
+        return self.inner.append_overhead(new_tokens)

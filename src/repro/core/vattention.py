@@ -30,7 +30,7 @@ so runtime cost is mapping (``cuMemMap``+``cuMemSetAccess`` at 2MB,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..errors import AllocationFailed, ConfigError, SchedulingError
 from ..gpu.device import Device
@@ -55,6 +55,9 @@ class RequestSlot:
     last_used: float = 0.0
     #: Leading rows aliased from another request's prefix (S8.1 dedup).
     shared_rows: int = 0
+    #: The slot will not grow (a prefix-cache retained slot): the
+    #: background thread must not pre-map decode-lookahead rows for it.
+    frozen: bool = False
 
     @property
     def mapped_rows(self) -> int:
@@ -223,6 +226,7 @@ class VAttention:
         slot = max(candidates, key=lambda s: (s.mapped_rows, -s.req_id))
         slot.active = True
         slot.context_len = 0
+        slot.frozen = False
         slot.last_used = self.clock.now
         if slot.mapped_rows:
             self.stats.reqids_reused_with_memory += 1
@@ -242,6 +246,7 @@ class VAttention:
             raise SchedulingError(f"reqId {req_id} is not active")
         slot.active = False
         slot.context_len = 0
+        slot.frozen = False
         slot.last_used = self.clock.now
         if not self.config.deferred_reclamation or self._holds_aliases(slot):
             # Deferred reclamation keeps rows mapped for the next
@@ -309,6 +314,12 @@ class VAttention:
             copy_seconds = 2.0 * copied_bytes / self.device.spec.hbm_bandwidth
             self.stats.copy_seconds += copy_seconds
         dst.shared_rows = full_rows
+        # The prefix KV is now resident in dst: recording it as context
+        # keeps the reclamation paths honest — otherwise the aliased
+        # rows look like an idle slot's reclaimable excess until the
+        # next step() and could be stripped mid-iteration.
+        dst.context_len = prefix_tokens
+        dst.last_used = self.clock.now
         self.stats.prefix_shares += 1
         self._charge_sync(latency + copy_seconds)
         return PrefixShareResult(
@@ -320,6 +331,30 @@ class VAttention:
             saved_bytes=full_rows * self.config.row_bytes,
             latency_seconds=latency + copy_seconds,
         )
+
+    def trim_slot(self, req_id: int, keep_tokens: int) -> None:
+        """Shrink an active slot to its leading ``keep_tokens`` tokens.
+
+        Rows above the kept prefix are unmapped off the critical path.
+        The prefix cache uses this to retain only a finished request's
+        shareable prompt rows instead of its whole final context; the
+        slot is frozen so background allocation stops treating it as a
+        decode candidate and pre-mapping lookahead rows it cannot use.
+        """
+        self._check_live()
+        slot = self._slot(req_id)
+        if not slot.active:
+            raise SchedulingError(f"reqId {req_id} is not active")
+        if not 0 <= keep_tokens <= slot.context_len:
+            raise SchedulingError(
+                f"reqId {req_id}: cannot trim to {keep_tokens} tokens "
+                f"(context {slot.context_len})"
+            )
+        excess = slot.mapped_rows - self.rows_for_context(keep_tokens)
+        if excess > 0:
+            self._unmap_rows(slot, excess, background=True)
+        slot.context_len = keep_tokens
+        slot.frozen = True
 
     def step(self, seq_lens: Sequence[int]) -> int:
         """Back every active request up to its context length (S5.3.3).
@@ -404,7 +439,7 @@ class VAttention:
         self._check_live()
         if self.config.overlap_allocation:
             for slot in self.slots:
-                if not slot.active or slot.context_len == 0:
+                if not slot.active or slot.context_len == 0 or slot.frozen:
                     continue
                 needed = (
                     self.rows_for_context(slot.context_len + 1)
@@ -639,6 +674,7 @@ class VAttention:
             slot.active = False
             slot.context_len = 0
             slot.shared_rows = 0
+            slot.frozen = False
         for handle in self._free_rows:
             self.device.pool.release(handle)
         self._free_rows.clear()

@@ -19,7 +19,6 @@ from ..gpu.spec import A100, GpuSpec
 from ..models.shard import ShardedModel
 from ..models.zoo import YI_6B
 from ..serving.engine import EngineConfig, LLMEngine
-from ..units import GB
 from ..workloads.traces import fixed_trace
 
 #: Oversubscription point: batch of 3 at one-row slack (see bench).

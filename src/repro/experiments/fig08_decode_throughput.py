@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..errors import ReproError
 from ..gpu.spec import A100, GpuSpec
 from ..models.config import ModelConfig
-from ..models.zoo import EVALUATED_MODELS, get_model
+from ..models.zoo import EVALUATED_MODELS
 from ..workloads.traces import fixed_trace
 from .common import paper_engine
 

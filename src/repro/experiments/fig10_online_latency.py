@@ -11,7 +11,7 @@ faster prefills drain the queue sooner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..gpu.spec import A100, GpuSpec
 from ..metrics.stats import cdf_points, median

@@ -16,13 +16,12 @@ paths keep off the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from ..gpu.spec import A100, GpuSpec
 from ..kernels.registry import get_kernel
 from ..models.shard import ShardedModel
 from ..models.zoo import LLAMA3_8B
-from ..units import KB, MB
 
 PREFILL_CONTEXTS = (2_048, 4_096, 8_192, 16_384, 32_768)
 DECODE_BATCHES = (1, 2, 4, 8, 16)

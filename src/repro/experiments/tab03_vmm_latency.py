@@ -13,7 +13,7 @@ from typing import Dict, List, Sequence
 
 from ..gpu.device import Device
 from ..gpu.spec import A100, SUPPORTED_PAGE_GROUP_SIZES
-from ..units import GB, KB, MB, to_us
+from ..units import KB, MB, to_us
 
 PAGE_SIZES: Sequence[int] = SUPPORTED_PAGE_GROUP_SIZES
 APIS = ("reserve", "create", "map", "release", "free")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ConfigError
-from ..units import GB, fmt_bytes
+from ..units import fmt_bytes
 from .clock import SimClock
 from .cuda_alloc import CudaCachingAllocator
 from .driver import ExtendedDriver, make_driver

@@ -19,7 +19,7 @@ behaviour the paper evaluates.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator
 
 from ..errors import InvalidHandle, OutOfPhysicalMemory

@@ -14,7 +14,7 @@ driver extension adds 64KB/128KB/256KB page-groups, which we mirror in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import ConfigError

@@ -22,8 +22,8 @@ memory code — "unified memory optimized for LLM serving" — which is the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 from ..errors import ConfigError, OutOfPhysicalMemory, SchedulingError
 from ..gpu.phys import PhysicalHandle, PhysicalMemoryPool

@@ -6,7 +6,7 @@ Names match the configuration labels the paper's figures use
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type
+from typing import Dict, Tuple, Type
 
 from ..errors import KernelError
 from ..gpu.spec import GpuSpec

@@ -80,6 +80,10 @@ class RunReport:
     metrics: MetricsCollector
     start_time: float
     end_time: float
+    #: Radix-tree prefix-cache statistics
+    #: (:class:`~repro.cache.manager.PrefixCacheReport`); ``None`` when
+    #: the engine ran without the cache.
+    prefix_cache: Optional[object] = None
 
     @property
     def makespan(self) -> float:

@@ -14,7 +14,7 @@ reproduced here exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import ConfigError, OutOfPhysicalMemory, SchedulingError
 from ..models.shard import ShardedModel

@@ -14,7 +14,7 @@ from .memory import (
     UvmMemory,
     VAttentionMemory,
 )
-from .request import Request, RequestState
+from .request import PrefixDescriptor, Request, RequestState
 from .scheduler import FcfsScheduler, peak_batch_size
 from .swap import HostSwapSpace, SwapStats
 
@@ -28,6 +28,7 @@ __all__ = [
     "MemoryBackend",
     "PER_SEQ_CPU_OVERHEAD",
     "PagedMemory",
+    "PrefixDescriptor",
     "Request",
     "RequestState",
     "StaticMemory",

@@ -19,11 +19,11 @@ of clock arithmetic.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence
 
 from ..core.config import VAttentionConfig
-from ..errors import AllocationFailed, ConfigError, SchedulingError
+from ..errors import AllocationFailed, ConfigError
 from ..gpu.device import Device
 from ..gpu.spec import GpuSpec
 from ..kernels.base import AttentionKernel, KvLayout
@@ -99,6 +99,17 @@ class EngineConfig:
     prefill_chunk_size: Optional[int] = None
     #: Pinned host memory available for swapped KV caches (swap mode).
     swap_host_bytes: int = 64 * GB
+    #: Automatic KV prefix reuse via the radix-tree cache (S8.1 turned
+    #: into a subsystem). vAttention backend only: aliasing physical
+    #: page-groups at multiple virtual offsets is what CUDA VMM enables
+    #: and user-space block pools / UVM / static slots cannot do.
+    enable_prefix_cache: bool = False
+    #: Extra vAttention request slots reserved to hold cached prefixes,
+    #: so a full cache never starves the running batch of reqIds.
+    prefix_cache_slots: int = 8
+    #: Cap on physical bytes retained by cache-owned prefixes
+    #: (None = bounded only by slots and memory-pressure eviction).
+    prefix_cache_budget_bytes: Optional[int] = None
     iteration_cpu_overhead: float = ITERATION_CPU_OVERHEAD
     per_seq_cpu_overhead: float = PER_SEQ_CPU_OVERHEAD
     label: str = ""
@@ -116,6 +127,24 @@ class EngineConfig:
             raise ConfigError("prefill_chunk_size must be positive")
         if self.max_batch_size <= 0:
             raise ConfigError("max_batch_size must be positive")
+        if self.enable_prefix_cache:
+            if self.memory_backend != "vattention":
+                raise ConfigError(
+                    f"prefix cache unsupported on the "
+                    f"{self.memory_backend!r} backend: KV de-duplication "
+                    f"needs physical page aliasing, which only the "
+                    f"vattention backend's CUDA-VMM route provides (S8.1)"
+                )
+            if self.prefix_cache_slots <= 0:
+                raise ConfigError("prefix_cache_slots must be positive")
+            if (
+                self.prefix_cache_budget_bytes is not None
+                and self.prefix_cache_budget_bytes < 0
+            ):
+                raise ConfigError(
+                    "prefix_cache_budget_bytes cannot be negative "
+                    "(0 retains nothing, None leaves retention unbounded)"
+                )
 
 
 class LLMEngine:
@@ -166,16 +195,27 @@ class LLMEngine:
     def _build_memory(self) -> MemoryBackend:
         config = self.config
         if config.memory_backend == "vattention":
+            cache_slots = (
+                config.prefix_cache_slots if config.enable_prefix_cache else 0
+            )
             va_config = VAttentionConfig(
                 shard=config.shard,
-                max_batch_size=config.max_batch_size,
+                max_batch_size=config.max_batch_size + cache_slots,
                 page_group_size=config.page_group_size,
                 tensor_slicing=config.tensor_slicing,
                 deferred_reclamation=config.deferred_reclamation,
                 eager_allocation=config.eager_allocation,
                 overlap_allocation=config.overlap_allocation,
             )
-            return VAttentionMemory(self.device, va_config)
+            inner = VAttentionMemory(self.device, va_config)
+            if not config.enable_prefix_cache:
+                return inner
+            # Imported here: repro.cache builds on repro.serving.memory.
+            from ..cache.manager import PrefixCacheManager
+
+            return PrefixCacheManager(
+                inner, budget_bytes=config.prefix_cache_budget_bytes
+            )
         if config.memory_backend == "paged":
             return PagedMemory(
                 self.device,
@@ -258,6 +298,7 @@ class LLMEngine:
             metrics=self.metrics,
             start_time=start,
             end_time=self.clock.now,
+            prefix_cache=self.memory.cache_report(),
         )
 
     def partial_report(self) -> RunReport:
@@ -272,6 +313,7 @@ class LLMEngine:
             metrics=self.metrics,
             start_time=0.0,
             end_time=self.clock.now,
+            prefix_cache=self.memory.cache_report(),
         )
 
     def _has_work(self) -> bool:
@@ -313,6 +355,7 @@ class LLMEngine:
     def _run_prefill(self, request: Request) -> None:
         shard, gpu = self.config.shard, self.config.gpu
         before = self.clock.now
+        self.memory.before_prefill(request)
         self._prepare_or_preempt(
             participants=lambda: (
                 [request] if request.state is RequestState.RUNNING else []
@@ -323,18 +366,27 @@ class LLMEngine:
             return  # evicted as a last resort; it will retry later
         alloc_sync = self.clock.now - before
 
+        # A prefix-cache hit leaves `prefilled_tokens` of resident KV:
+        # only the remaining tokens run linear operators and append, and
+        # attention costs the marginal extension over the cached prefix
+        # (the new tokens still attend the cached KV).
+        cached = request.prefilled_tokens
+        new_tokens = request.prompt_len - cached
+        block = self._block_size_for(self.prefill_kernel)
+        attention = self.prefill_kernel.prefill_time(
+            shard, request.prompt_len, block
+        )
+        if cached:
+            attention -= self.prefill_kernel.prefill_time(shard, cached, block)
         compute = (
-            linear_prefill_time(shard, gpu, request.prompt_len)
-            + self.prefill_kernel.prefill_time(
-                shard,
-                request.prompt_len,
-                self._block_size_for(self.prefill_kernel),
-            )
-            + self.memory.append_overhead(request.prompt_len)
+            linear_prefill_time(shard, gpu, new_tokens)
+            + attention
+            + self.memory.append_overhead(new_tokens)
             + self.config.iteration_cpu_overhead
         )
         self.clock.advance(compute)
         request.record_prefill(self.clock.now)
+        self.memory.note_prefill_complete(request)
         self.memory.after_iteration(compute)
         self.metrics.record(
             IterationRecord(
@@ -343,6 +395,9 @@ class LLMEngine:
                 batch_size=1,
                 latency=self.clock.now - before,
                 alloc_sync=alloc_sync,
+                # Served prompt tokens: a prefix-cache hit delivers the
+                # cached tokens too, it just skips recomputing them —
+                # prefill throughput measures serving, not FLOPs.
                 tokens=request.prompt_len,
             )
         )
@@ -358,6 +413,12 @@ class LLMEngine:
         """
         shard, gpu = self.config.shard, self.config.gpu
         before = self.clock.now
+        # A mixed iteration backs every running request's prompt, so a
+        # pending prefill's one chance to alias a cached prefix is its
+        # first mixed iteration — not just the iteration chunking it.
+        for request in self._running:
+            if request.needs_prefill and request.prefilled_tokens == 0:
+                self.memory.before_prefill(request)
         self._prepare_or_preempt(
             participants=lambda: list(self._running), protected=prefill
         )
@@ -367,6 +428,14 @@ class LLMEngine:
 
         chunk = min(self.config.prefill_chunk_size, prefill.next_chunk_tokens)
         prefix = prefill.prefilled_tokens
+        # Prefill token accounting is *served* prompt tokens (matching
+        # the monolithic path): the first computed chunk also delivers
+        # any tokens restored from the prefix cache.
+        served = chunk + (
+            prefill.cached_prefix_tokens
+            if prefix == prefill.cached_prefix_tokens
+            else 0
+        )
         decodes = [r for r in self._running if r.prefill_done]
 
         # Fused linear operators: compute for chunk + batch tokens, but
@@ -401,6 +470,8 @@ class LLMEngine:
         )
         self.clock.advance(compute)
         prefill.record_prefill_chunk(chunk, self.clock.now)
+        if prefill.prefill_done:
+            self.memory.note_prefill_complete(prefill)
         for request in decodes:
             request.record_decode_token(self.clock.now)
         self.memory.after_iteration(compute)
@@ -411,7 +482,7 @@ class LLMEngine:
                 batch_size=len(decodes) + 1,
                 latency=self.clock.now - before,
                 alloc_sync=alloc_sync,
-                tokens=chunk + len(decodes),
+                tokens=served + len(decodes),
             )
         )
         self._retire_finished()
@@ -507,7 +578,7 @@ class LLMEngine:
             if request.generated >= request.max_new_tokens or (
                 request.context_len >= self.config.shard.max_context
             ):
-                self.memory.release(request)
+                self.memory.retire(request)
                 request.finish(self.clock.now)
             else:
                 still_running.append(request)

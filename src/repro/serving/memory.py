@@ -25,13 +25,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.config import VAttentionConfig
 from ..core.vattention import VAttention
-from ..errors import ConfigError, OutOfPhysicalMemory, SchedulingError
+from ..errors import ConfigError, SchedulingError
 from ..gpu.device import Device
 from ..gpu.uvm import UvmKvRegion
 from ..kernels.base import KvLayout
 from ..paged.block_manager import BlockManager
 from ..paged.block_table import BlockTableCost, block_table_cost
-from ..units import ceil_div
 from .request import Request
 
 
@@ -63,6 +62,28 @@ class MemoryBackend(abc.ABC):
     def release(self, request: Request) -> None:
         """Free the memory of a finished or preempted request."""
 
+    def retire(self, request: Request) -> None:
+        """Handle a *finished* request's memory.
+
+        Defaults to :meth:`release`; the prefix cache overrides this to
+        retain the request's prompt KV instead of freeing it.
+        """
+        self.release(request)
+
+    def before_prefill(self, request: Request) -> None:
+        """Hook before a request's first prefill work of an iteration.
+
+        The prefix cache uses this to alias the longest cached prefix
+        into the request before its prompt memory is backed.
+        """
+
+    def note_prefill_complete(self, request: Request) -> None:
+        """Hook after a request's prefill completes (KV now resident)."""
+
+    def cache_report(self):
+        """Prefix-cache statistics, or ``None`` for cache-less backends."""
+        return None
+
     def after_iteration(self, iteration_seconds: float) -> None:
         """Observe a completed compute window (background allocation)."""
 
@@ -93,6 +114,11 @@ class VAttentionMemory(MemoryBackend):
         #: backed; keeps admission from over-committing the device.
         self._pending_rows: Dict[str, int] = {}
 
+    @property
+    def promised_rows(self) -> int:
+        """Rows promised to admitted-but-not-yet-backed requests."""
+        return sum(self._pending_rows.values())
+
     def can_admit(self, request: Request) -> bool:
         tokens = request.resident_tokens_needed
         if tokens > self.config.shard.max_context:
@@ -100,14 +126,43 @@ class VAttentionMemory(MemoryBackend):
         if not self.manager.has_free_reqid():
             return False
         needed = self.manager.rows_for_context(tokens)
-        promised = sum(self._pending_rows.values())
-        return needed + promised <= self.manager.available_rows
+        return needed + self.promised_rows <= self.manager.available_rows
 
     def admit(self, request: Request) -> None:
         request.memory_handle = self.manager.alloc_reqid()
         self._pending_rows[request.request_id] = self.manager.rows_for_context(
             request.resident_tokens_needed
         )
+
+    def refresh_promise(self, request: Request) -> None:
+        """Re-derive an admission promise from the slot's mapped rows.
+
+        After a prefix-cache hit aliases rows into the request's slot,
+        its outstanding demand shrinks; without this, admission control
+        would keep over-counting the aliased rows.
+        """
+        if request.request_id not in self._pending_rows:
+            return
+        if request.memory_handle is None:
+            raise SchedulingError(f"{request.request_id} has no reqId")
+        slot = self.manager.slots[request.memory_handle]
+        needed = self.manager.rows_for_context(request.resident_tokens_needed)
+        self._pending_rows[request.request_id] = max(
+            0, needed - slot.mapped_rows
+        )
+
+    def detach(self, request: Request) -> int:
+        """Hand the request's slot to the caller without freeing it.
+
+        The prefix cache takes ownership of a finished request's slot
+        this way; the slot stays active and keeps its mapped rows.
+        """
+        if request.memory_handle is None:
+            raise SchedulingError(f"{request.request_id} has no reqId")
+        self._pending_rows.pop(request.request_id, None)
+        handle = request.memory_handle
+        request.memory_handle = None
+        return handle
 
     def prepare_iteration(self, batch: Sequence[Request]) -> bool:
         for i in range(len(self._seq_lens)):

@@ -9,11 +9,35 @@ the end-to-end experiments (Figures 9-11).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import ConfigError, SchedulingError
+
+
+@dataclass(frozen=True)
+class PrefixDescriptor:
+    """Token-id content of a request's prompt, for prefix caching.
+
+    ``token_ids`` are the prompt's leading token ids (up to the whole
+    prompt); the radix-tree prefix cache indexes resident KV under them
+    and matches arriving requests against the index. ``group`` is a
+    workload-level label (shared system prompt, chat session) used in
+    statistics — sharing is decided purely by token ids.
+    """
+
+    group: str
+    token_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.token_ids:
+            raise ConfigError(f"prefix group {self.group!r} has no tokens")
+
+    @property
+    def tokens(self) -> int:
+        """Number of prompt tokens the descriptor covers."""
+        return len(self.token_ids)
 
 
 class RequestState(Enum):
@@ -48,6 +72,11 @@ class Request:
     preemptions: int = 0
     #: Set while the request's KV cache lives in host swap space.
     swapped: bool = False
+    #: Prompt token ids eligible for prefix-cache matching (optional).
+    prefix: Optional[PrefixDescriptor] = None
+    #: Prompt tokens whose KV was aliased/copied from the prefix cache
+    #: instead of computed (set by the cache on a hit).
+    cached_prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0:
@@ -59,6 +88,12 @@ class Request:
             raise ConfigError(
                 f"{self.request_id}: max_new_tokens must be positive, "
                 f"got {self.max_new_tokens}"
+            )
+        if self.prefix is not None and self.prefix.tokens > self.prompt_len:
+            raise ConfigError(
+                f"{self.request_id}: prefix descriptor covers "
+                f"{self.prefix.tokens} tokens but the prompt has only "
+                f"{self.prompt_len}"
             )
 
     # ------------------------------------------------------------------
@@ -127,6 +162,30 @@ class Request:
         """Prompt tokens still awaiting prefill."""
         return self.prompt_len - self.prefilled_tokens
 
+    def apply_cached_prefix(self, n_tokens: int) -> None:
+        """Account ``n_tokens`` of prompt KV restored from the prefix
+        cache: they are resident and need no prefill compute.
+
+        Must land before any prefill progress; the remaining
+        ``prompt_len - n_tokens`` tokens prefill normally (monolithic or
+        chunked).
+        """
+        if self.state is not RequestState.RUNNING:
+            raise SchedulingError(
+                f"{self.request_id}: cached prefix while not running"
+            )
+        if self.prefill_done or self.prefilled_tokens:
+            raise SchedulingError(
+                f"{self.request_id}: cached prefix after prefill started"
+            )
+        if not 0 < n_tokens < self.prompt_len:
+            raise SchedulingError(
+                f"{self.request_id}: cached prefix of {n_tokens} tokens "
+                f"must leave at least one of {self.prompt_len} to compute"
+            )
+        self.cached_prefix_tokens = n_tokens
+        self.prefilled_tokens = n_tokens
+
     def preempt(self) -> None:
         """Evict under memory pressure; KV cache will be recomputed."""
         if self.state is not RequestState.RUNNING:
@@ -142,6 +201,7 @@ class Request:
         self.generated = 0
         self.prefill_done = False
         self.prefilled_tokens = 0
+        self.cached_prefix_tokens = 0
         self.memory_handle = None
 
     def preempt_swap(self) -> None:

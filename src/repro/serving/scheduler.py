@@ -70,10 +70,17 @@ class FcfsScheduler:
             ) from None
 
     def preempt_newest(self) -> Optional[Request]:
-        """Evict the most recently admitted request (vLLM's default)."""
+        """Evict the most recently admitted request (vLLM's default).
+
+        The victim leaves with recompute-preemption semantics applied
+        (state ``PREEMPTED``, generated tokens folded into the prompt),
+        matching the engine's inline path; requeue it with
+        :meth:`requeue_front` to preserve its FCFS position.
+        """
         if not self.running:
             return None
         victim = self.running.pop()
+        victim.preempt()
         return victim
 
     @property

@@ -20,7 +20,7 @@ exactly the trade-off the ablation bench measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import ConfigError, SchedulingError

@@ -8,7 +8,9 @@ from .traces import (
     arxiv_offline_trace,
     arxiv_online_trace,
     fixed_trace,
+    multi_turn_trace,
     openchat_trace,
+    shared_prefix_trace,
     sharegpt_trace,
     trace_statistics,
 )
@@ -21,8 +23,10 @@ __all__ = [
     "arxiv_online_trace",
     "batch_arrivals",
     "fixed_trace",
+    "multi_turn_trace",
     "openchat_trace",
     "poisson_arrivals",
+    "shared_prefix_trace",
     "sharegpt_trace",
     "trace_statistics",
     "uniform_arrivals",

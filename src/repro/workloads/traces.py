@@ -23,10 +23,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
-from ..serving.request import Request
+from ..serving.request import PrefixDescriptor, Request
 
 
 @dataclass(frozen=True)
@@ -200,6 +200,148 @@ def fixed_trace(
         )
         for index in range(count)
     ]
+
+
+# ----------------------------------------------------------------------
+# Shared-prefix workloads (the prefix-cache subsystem's traffic)
+# ----------------------------------------------------------------------
+
+#: Token-id namespaces are separated by a wide stride so ids from one
+#: namespace (a system prompt, a private suffix, a response) can never
+#: collide with another's — prefix matches happen only by construction.
+_ID_STRIDE = 1 << 20
+
+
+def _synthetic_ids(namespace: int, length: int) -> Tuple[int, ...]:
+    """Deterministic distinct token ids for one logical text block."""
+    base = namespace * _ID_STRIDE
+    return tuple(base + offset for offset in range(length))
+
+
+#: Default private-suffix and decode lengths of the shared-prefix trace
+#: (chat-sized, per the ShareGPT statistics the paper cites in S1).
+SHARED_PREFIX_SUFFIX = TraceSpec(low=64, high=2_048, mean=400)
+SHARED_PREFIX_DECODE = TraceSpec(low=16, high=512, mean=128)
+
+
+def shared_prefix_trace(
+    count: int,
+    sharing_factor: int,
+    prefix_tokens: int = 2_048,
+    suffix_spec: TraceSpec = SHARED_PREFIX_SUFFIX,
+    decode_spec: TraceSpec = SHARED_PREFIX_DECODE,
+    seed: int = 9157,
+    arrivals: Optional[Sequence[float]] = None,
+    name: str = "sysprompt",
+) -> List[Request]:
+    """Requests sharing common system prompts (prefix-cache workload).
+
+    The ``count`` requests are spread round-robin over
+    ``count / sharing_factor`` groups; every member of a group carries
+    the same ``prefix_tokens``-token system prompt (identical token
+    ids) followed by a private suffix. ``sharing_factor=1`` degenerates
+    to fully-private prompts — the cache-defeating control case.
+    """
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    if sharing_factor <= 0:
+        raise ConfigError(
+            f"sharing_factor must be positive, got {sharing_factor}"
+        )
+    if prefix_tokens <= 0:
+        raise ConfigError(
+            f"prefix_tokens must be positive, got {prefix_tokens}"
+        )
+    if arrivals is not None and len(arrivals) != count:
+        raise ConfigError("arrivals length mismatch")
+    groups = max(1, math.ceil(count / sharing_factor))
+    rng = random.Random(seed)
+    group_ids = [
+        _synthetic_ids(group + 1, prefix_tokens) for group in range(groups)
+    ]
+    requests: List[Request] = []
+    for index in range(count):
+        group = index % groups
+        suffix = suffix_spec.sample(rng)
+        token_ids = group_ids[group] + _synthetic_ids(
+            groups + 1 + index, suffix
+        )
+        requests.append(
+            Request(
+                request_id=f"{name}-{index:04d}",
+                prompt_len=prefix_tokens + suffix,
+                max_new_tokens=decode_spec.sample(rng),
+                arrival_time=0.0 if arrivals is None else arrivals[index],
+                prefix=PrefixDescriptor(
+                    group=f"{name}-g{group}", token_ids=token_ids
+                ),
+            )
+        )
+    return requests
+
+
+#: Default per-turn lengths of the multi-turn chat trace.
+MULTI_TURN_FIRST = TraceSpec(low=128, high=2_048, mean=600)
+MULTI_TURN_FOLLOWUP = TraceSpec(low=16, high=512, mean=120)
+MULTI_TURN_DECODE = TraceSpec(low=16, high=768, mean=200)
+
+
+def multi_turn_trace(
+    sessions: int,
+    turns: int,
+    first_spec: TraceSpec = MULTI_TURN_FIRST,
+    followup_spec: TraceSpec = MULTI_TURN_FOLLOWUP,
+    decode_spec: TraceSpec = MULTI_TURN_DECODE,
+    turn_gap: float = 30.0,
+    seed: int = 5871,
+    max_context: Optional[int] = 200_000,
+    name: str = "chat",
+) -> List[Request]:
+    """Multi-turn chat sessions (the other prefix-cache workload).
+
+    Turn ``t`` of a session resubmits the whole conversation so far —
+    every earlier prompt and response — plus a fresh user message, so
+    consecutive turns share a growing prefix. Response token ids are
+    synthesized deterministically, exactly as a serving front-end would
+    append the model's output to the history. Turns of one session
+    arrive ``turn_gap`` seconds apart; sessions all start at zero and
+    interleave.
+    """
+    if sessions <= 0 or turns <= 0:
+        raise ConfigError("sessions and turns must be positive")
+    if turn_gap < 0:
+        raise ConfigError(f"turn_gap cannot be negative, got {turn_gap}")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    namespace = 1
+    for session in range(sessions):
+        history: Tuple[int, ...] = ()
+        for turn in range(turns):
+            spec = first_spec if turn == 0 else followup_spec
+            user = _synthetic_ids(namespace, spec.sample(rng))
+            namespace += 1
+            prompt_ids = history + user
+            decode = decode_spec.sample(rng)
+            if (
+                max_context is not None
+                and len(prompt_ids) + decode + 1 > max_context
+            ):
+                break  # the conversation outgrew the model's context
+            requests.append(
+                Request(
+                    request_id=f"{name}-s{session:03d}-t{turn:02d}",
+                    prompt_len=len(prompt_ids),
+                    max_new_tokens=decode,
+                    arrival_time=turn * turn_gap,
+                    prefix=PrefixDescriptor(
+                        group=f"{name}-s{session}", token_ids=prompt_ids
+                    ),
+                )
+            )
+            response = _synthetic_ids(namespace, decode)
+            namespace += 1
+            history = prompt_ids + response
+    return requests
 
 
 def trace_statistics(requests: Sequence[Request]) -> dict:

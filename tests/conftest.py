@@ -10,7 +10,7 @@ from repro.gpu.spec import A100
 from repro.models.config import ModelConfig
 from repro.models.shard import ShardedModel
 from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
-from repro.units import GB, MB
+from repro.units import GB
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.paged.block_table import (
-    BLOCK_TABLE_COSTS,
     FI_APPEND_PER_BLOCK,
     FI_OBJECT_CHURN,
     VLLM_PER_ENTRY,

@@ -29,6 +29,12 @@ class TestRun:
         assert "Table 8" in out
         assert "Yi-6B" in out
 
+    def test_run_accepts_module_style_names(self, capsys):
+        # `repro run ext_sharing` == `repro run ext-sharing`.
+        assert main(["run", "ext_sharing"]) == 0
+        assert "Prefix sharing" in capsys.readouterr().out
+        assert "ext-prefix-cache" in EXPERIMENTS
+
     def test_run_multiple(self, capsys):
         assert main(["run", "tab08", "tab10"]) == 0
         out = capsys.readouterr().out

@@ -8,8 +8,8 @@ from repro.core.vattention import VAttention
 from repro.gpu.device import Device
 from repro.gpu.spec import A100
 from repro.models.shard import ShardedModel
-from repro.models.zoo import LLAMA3_8B, YI_6B
-from repro.units import GB, KB, MB
+from repro.models.zoo import YI_6B
+from repro.units import GB, MB
 
 
 def make(model=YI_6B, tp=1, batch=6, pg=2 * MB, budget=16 * GB, **flags):

@@ -4,9 +4,8 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.gpu.device import Device
-from repro.gpu.driver import ExtendedDriver, make_driver
 from repro.gpu.spec import A100, SUPPORTED_PAGE_GROUP_SIZES
-from repro.units import GB, KB, MB, us
+from repro.units import KB, MB, us
 
 
 @pytest.fixture

@@ -5,10 +5,9 @@ import pytest
 from repro.errors import ConfigError
 from repro.gpu.spec import A100, H100
 from repro.models.shard import ShardedModel
-from repro.models.zoo import LLAMA3_8B, YI_6B
+from repro.models.zoo import YI_6B
 from repro.serving.engine import EngineConfig, LLMEngine
-from repro.serving.request import RequestState
-from repro.units import GB, MB
+from repro.units import GB
 from repro.workloads.traces import fixed_trace
 
 

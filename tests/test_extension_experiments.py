@@ -1,10 +1,10 @@
 """Extension experiment drivers produce their claimed shapes."""
 
-import pytest
 
 from repro.experiments import (
     ext_chunked_prefill,
     ext_large_models,
+    ext_prefix_cache,
     ext_prefix_sharing,
     ext_swap_policy,
     ext_uvm_limitations,
@@ -30,6 +30,21 @@ class TestPrefixSharing:
         # the prefix happens to align. Either way 64KB saves at least
         # as large a fraction.
         assert rows[64 * KB].reduction >= rows[2 * MB].reduction - 1e-9
+
+
+class TestPrefixCache:
+    def test_cache_strictly_wins_at_high_sharing(self):
+        (row,) = ext_prefix_cache.run(sharing_factors=(8,))
+        assert row.prefill_throughput_on > row.prefill_throughput_off
+        assert row.mean_ttft_on < row.mean_ttft_off
+        assert row.hits > 0
+        assert row.aliased_rows > 0
+        assert row.bytes_saved > 0
+
+    def test_no_sharing_is_harmless(self):
+        (row,) = ext_prefix_cache.run(sharing_factors=(1,))
+        assert row.hits == 0
+        assert row.throughput_gain >= 1.0 - 1e-9
 
 
 class TestSwapPolicy:

@@ -4,11 +4,11 @@ import pytest
 
 from repro.errors import AllocationFailed
 from repro.experiments.common import PAPER_CONFIGS, paper_engine
-from repro.gpu.spec import A100, H100
+from repro.gpu.spec import A100
 from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
 from repro.serving.engine import EngineConfig, LLMEngine
 from repro.models.shard import ShardedModel
-from repro.units import GB, KB, MB
+from repro.units import GB, KB
 from repro.workloads.arrival import poisson_arrivals
 from repro.workloads.traces import fixed_trace, sharegpt_trace
 

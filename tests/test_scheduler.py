@@ -67,6 +67,22 @@ class TestRetireAndPreempt:
         assert victim.request_id == "b"
         assert scheduler.batch_size == 1
 
+    def test_preempt_newest_updates_victim_state(self):
+        # Regression: the reusable scheduler used to leave the victim
+        # RUNNING while the engine's inline path marks it preempted.
+        scheduler = FcfsScheduler(max_batch_size=4, can_admit=lambda r: True)
+        scheduler.enqueue(make_request("a", prompt=100))
+        (request,) = scheduler.admit_ready()
+        request.prefill_done = True
+        request.generated = 4
+        victim = scheduler.preempt_newest()
+        assert victim.state is RequestState.PREEMPTED
+        assert victim.preemptions == 1
+        # Recompute semantics, like the engine: generated tokens fold
+        # into the prompt for the re-run.
+        assert victim.prompt_len == 104
+        assert not victim.prefill_done
+
     def test_preempt_empty_returns_none(self):
         scheduler = FcfsScheduler(max_batch_size=4, can_admit=lambda r: True)
         assert scheduler.preempt_newest() is None

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.models.shard import ShardedModel
 from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B, paper_deployment
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 
 
 class TestPaperExample:

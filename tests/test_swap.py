@@ -149,6 +149,43 @@ class TestEngineIntegration:
         assert stats.swap_outs >= 1
         assert stats.seconds_out > 0
 
+    def test_admit_charges_swap_in_and_clears_flag(self):
+        # The swap-in admission path of LLMEngine._admit: a request
+        # preempted with its KV in host memory must, on re-admission,
+        # pay the PCIe transfer on the clock and come back resident.
+        engine = engine_with("swap")
+        engine.submit(
+            fixed_trace(count=1, prompt_len=16_384, max_new_tokens=300)
+        )
+        engine.run(max_iterations=3)  # prefill + a couple of decodes
+        (victim,) = engine._running
+        assert victim.prefill_done
+
+        # Preempt exactly the way _prepare_or_preempt does.
+        nbytes = victim.context_len * engine.config.shard.kv_bytes_per_token
+        engine._running.remove(victim)
+        engine.memory.release(victim)
+        engine._evict(victim)
+        victim.state = RequestState.QUEUED
+        engine._waiting.appendleft(victim)
+        assert victim.swapped
+        assert engine.swap_space.holds(victim.request_id)
+
+        before = engine.clock.now
+        engine._admit()
+        # Re-admitted, resident again, PCIe latency on the clock.
+        assert victim.state is RequestState.RUNNING
+        assert not victim.swapped
+        assert not engine.swap_space.holds(victim.request_id)
+        expected = nbytes / PCIE_BANDWIDTH
+        assert engine.clock.now - before == pytest.approx(expected)
+        assert engine.swap_space.stats.swap_ins == 1
+        # The restored request decodes to completion without another
+        # prefill (its KV survived the round trip).
+        report = engine.run()
+        assert len(report.finished_requests) == 1
+        assert len(report.metrics.of_phase("prefill")) == 1
+
     def test_swap_capacity_falls_back_to_recompute(self):
         engine = LLMEngine(
             EngineConfig(

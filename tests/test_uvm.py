@@ -3,16 +3,13 @@
 import pytest
 
 from repro.errors import OutOfPhysicalMemory, SchedulingError
-from repro.gpu.device import Device
 from repro.gpu.phys import PhysicalMemoryPool
 from repro.gpu.spec import A100
 from repro.gpu.uvm import UVM_PAGE_SIZE, UvmKvRegion
 from repro.models.shard import ShardedModel
 from repro.models.zoo import YI_6B
 from repro.serving.engine import EngineConfig, LLMEngine
-from repro.serving.memory import UvmMemory
-from repro.serving.request import Request, RequestState
-from repro.units import GB, KB, MB
+from repro.units import GB, MB
 from repro.workloads.traces import fixed_trace
 
 

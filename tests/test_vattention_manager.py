@@ -8,7 +8,7 @@ from repro.errors import SchedulingError
 from repro.gpu.device import Device
 from repro.gpu.spec import A100
 from repro.models.shard import ShardedModel
-from repro.models.zoo import LLAMA3_8B, YI_34B, YI_6B
+from repro.models.zoo import YI_34B, YI_6B
 from repro.units import GB, KB, MB, us
 
 

@@ -9,7 +9,7 @@ from repro.errors import (
     OutOfVirtualMemory,
 )
 from repro.gpu.phys import PhysicalMemoryPool
-from repro.gpu.virtual import Reservation, VirtualAddressSpace
+from repro.gpu.virtual import VirtualAddressSpace
 from repro.units import GB, KB, MB
 
 
