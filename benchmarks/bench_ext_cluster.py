@@ -1,0 +1,129 @@
+"""Cluster bench: routing policies x replicas x sharing, + disaggregation.
+
+Run under pytest (``pytest benchmarks/bench_ext_cluster.py``) for the
+acceptance assertions, or standalone to emit the JSON the CI workflow
+uploads as an artifact::
+
+    PYTHONPATH=src python benchmarks/bench_ext_cluster.py --output out.json
+"""
+
+import dataclasses
+import json
+
+from repro.experiments import ext_cluster_router as driver
+from repro.units import GB
+
+REPLICA_COUNTS = (2, 4)
+SHARING_FACTORS = (1, 8)
+
+
+def _sweeps():
+    rows = driver.run(
+        replica_counts=REPLICA_COUNTS, sharing_factors=SHARING_FACTORS
+    )
+    disagg = driver.run_disaggregated()
+    return rows, disagg
+
+
+def test_ext_cluster_router(benchmark):
+    rows, disagg = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    print("\nCluster routing sweep (shared-prefix trace, bursty arrivals)")
+    for row in rows:
+        print(
+            f"  share x{row.sharing_factor:<2} {row.n_replicas}r "
+            f"{row.policy:>24}: hit {row.cache_hit_rate:5.1%} "
+            f"TTFT {row.mean_ttft:6.3f}s "
+            f"{row.requests_per_minute:6.1f} req/min"
+        )
+    by_cell = {
+        (r.sharing_factor, r.n_replicas, r.policy): r for r in rows
+    }
+    # The acceptance bar: on the shared-prefix trace, cache-aware
+    # routing beats round-robin on aggregate hit rate AND mean TTFT at
+    # every fleet size >= 2.
+    for n_replicas in REPLICA_COUNTS:
+        rr = by_cell[(8, n_replicas, "round_robin")]
+        ca = by_cell[(8, n_replicas, "cache_aware")]
+        assert ca.cache_hit_rate > rr.cache_hit_rate
+        assert ca.mean_ttft < rr.mean_ttft
+        assert ca.cache_hit_tokens > rr.cache_hit_tokens
+        # Affinity must not degenerate into pinning everything on one
+        # replica: every replica still serves requests.
+        assert all(n > 0 for n in ca.requests_per_replica)
+    # The no-sharing control: nothing to reuse, no policy hits.
+    for row in rows:
+        if row.sharing_factor == 1:
+            assert row.cache_hit_rate == 0.0
+    # More replicas serve the same trace faster.
+    for policy in ("round_robin", "cache_aware"):
+        two = by_cell[(8, 2, policy)]
+        four = by_cell[(8, 4, policy)]
+        assert four.requests_per_minute > two.requests_per_minute
+        assert four.mean_ttft < two.mean_ttft
+
+    print("\nDisaggregated prefill/decode (migration accounting)")
+    for row in disagg:
+        print(
+            f"  {row.interconnect:>6}: {row.migrations} migrations "
+            f"{row.migrated_bytes / GB:6.2f}GB "
+            f"{row.migration_seconds:6.3f}s link time, "
+            f"TTFT {row.mean_ttft:6.3f}s"
+        )
+    by_link = {row.interconnect: row for row in disagg}
+    for row in disagg:
+        # Every multi-token request hands its KV across once, and both
+        # bytes and link occupancy are accounted.
+        assert row.migrations == driver.REQUESTS
+        assert row.migrated_bytes > 0
+        assert row.migration_seconds > 0
+    # The same bytes move ~12x slower over PCIe than NVLink.
+    assert (
+        by_link["pcie"].migrated_bytes == by_link["nvlink"].migrated_bytes
+    )
+    assert (
+        by_link["pcie"].migration_seconds
+        > 5 * by_link["nvlink"].migration_seconds
+    )
+
+
+def test_ext_cluster_deterministic(benchmark):
+    first = benchmark.pedantic(
+        lambda: driver.serve(2, "cache_aware", sharing_factor=8),
+        rounds=1,
+        iterations=1,
+    )
+    second = driver.serve(2, "cache_aware", sharing_factor=8)
+    assert first.mean_ttft() == second.mean_ttft()
+    assert first.cache_hit_rate == second.cache_hit_rate
+    assert first.requests_per_replica == second.requests_per_replica
+    assert first.end_time == second.end_time
+
+
+def main() -> None:
+    """Standalone mode: run both sweeps and write them as JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="cluster_bench.json",
+        help="path the JSON results are written to",
+    )
+    args = parser.parse_args()
+    rows, disagg = _sweeps()
+    payload = {
+        "experiment": "ext_cluster_router",
+        "requests": driver.REQUESTS,
+        "prefix_tokens": driver.PREFIX_TOKENS,
+        "qps": driver.QPS,
+        "routing": [dataclasses.asdict(row) for row in rows],
+        "disaggregated": [dataclasses.asdict(row) for row in disagg],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.output}: {len(rows)} routing cells, "
+          f"{len(disagg)} disaggregation cells")
+
+
+if __name__ == "__main__":
+    main()

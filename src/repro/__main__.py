@@ -41,6 +41,11 @@ EXPERIMENTS: Dict[str, tuple] = {
         "extension: radix-tree prefix cache",
         False,
     ),
+    "ext-cluster-router": (
+        "ext_cluster_router",
+        "extension: cluster router + disaggregated prefill/decode",
+        True,
+    ),
     "ext-swap": ("ext_swap_policy", "extension: swap vs recompute", False),
     "ext-uvm": ("ext_uvm_limitations", "extension: unified-memory strawman", True),
     "ext-chunked": ("ext_chunked_prefill", "extension: chunked prefill stalls", False),
@@ -48,11 +53,18 @@ EXPERIMENTS: Dict[str, tuple] = {
 
 
 def list_experiments() -> None:
-    """Print the experiment catalogue."""
+    """Print the experiment catalogue.
+
+    Every experiment is listed under both accepted spellings: the
+    dashed catalogue name and the underscore module-style alias
+    (``repro run ext-cluster-router`` == ``repro run ext_cluster_router``).
+    """
     print("available experiments (python -m repro run <name> ...):\n")
     for name, (_, description, heavy) in EXPERIMENTS.items():
         marker = " [long-running]" if heavy else ""
-        print(f"  {name:<12} {description}{marker}")
+        alias = name.replace("-", "_")
+        aliases = name if alias == name else f"{name} | {alias}"
+        print(f"  {aliases:<42} {description}{marker}")
 
 
 def run_experiments(names: List[str]) -> int:

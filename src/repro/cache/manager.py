@@ -170,6 +170,27 @@ class PrefixCacheManager(MemoryBackend):
     def cache_report(self) -> Optional[PrefixCacheReport]:
         return self.report()
 
+    def probe_prefix_tokens(self, token_ids, limit=None) -> int:
+        """Reusable-prefix tokens a prompt would hit right now (no side
+        effects — the cluster router calls this on every replica per
+        routing decision). ``limit`` should be the same
+        ``prompt_len - 1`` cap :meth:`before_prefill` applies, and the
+        result is clamped to what the source slot physically backs, so
+        the router's estimate matches what an actual hit would deliver.
+        """
+        entry, matched = self.tree.probe(token_ids, limit=limit)
+        if entry is None:
+            return 0
+        source = self._vat.slots[entry.slot]
+        return max(
+            0,
+            min(
+                matched,
+                source.context_len,
+                source.mapped_rows * self._vat.config.tokens_per_page_group,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------

@@ -158,11 +158,48 @@ class RadixTree:
         and leaves LRU order untouched.
         """
         self.stats.lookups += 1
+        best, best_len = self._best_match(tuple(token_ids))
+        matched = 0 if best is None else min(best_len, best.tokens)
+        if limit is not None:
+            matched = min(matched, limit)
+        if best is None or matched <= 0:
+            self.stats.misses += 1
+            return None, 0
+        best.last_access = now
+        best.hits += 1
+        self.stats.hits += 1
+        self.stats.hit_tokens += matched
+        return best, matched
+
+    def probe(
+        self,
+        token_ids: Sequence[int],
+        limit: Optional[int] = None,
+    ) -> Tuple[Optional[PrefixEntry], int]:
+        """Longest-prefix match *without* side effects.
+
+        Identical matching semantics to :meth:`match_prefix`, but no
+        statistics are recorded and no LRU timestamp is refreshed — the
+        cluster router probes every replica's tree per routing decision,
+        and a probe that does not result in routing must leave the cache
+        state (and its hit-rate accounting) untouched.
+        """
+        best, best_len = self._best_match(tuple(token_ids))
+        matched = 0 if best is None else min(best_len, best.tokens)
+        if limit is not None:
+            matched = min(matched, limit)
+        if best is None or matched <= 0:
+            return None, 0
+        return best, matched
+
+    def _best_match(
+        self, query: Tuple[int, ...]
+    ) -> Tuple[Optional[PrefixEntry], int]:
+        """The shared longest-prefix walk of match/probe."""
         best: Optional[PrefixEntry] = None
         best_len = 0
         node = self._root
         depth = 0
-        query = tuple(token_ids)
         while True:
             # Entries ending exactly at this node share all `depth`
             # query tokens consumed so far.
@@ -198,17 +235,7 @@ class RadixTree:
                 break
             depth += run
             node = child
-        matched = 0 if best is None else min(best_len, best.tokens)
-        if limit is not None:
-            matched = min(matched, limit)
-        if best is None or matched <= 0:
-            self.stats.misses += 1
-            return None, 0
-        best.last_access = now
-        best.hits += 1
-        self.stats.hits += 1
-        self.stats.hit_tokens += matched
-        return best, matched
+        return best, best_len
 
     @staticmethod
     def _common_run(

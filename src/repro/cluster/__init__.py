@@ -1,0 +1,47 @@
+"""Cluster serving: multi-replica router, cache-aware scheduling and
+disaggregated prefill/decode above the single-engine serving layer."""
+
+from .engine import ClusterConfig, ClusterEngine, Replica
+from .interconnect import (
+    INTERCONNECTS,
+    NVLINK,
+    PCIE,
+    InterconnectSpec,
+    MigrationLink,
+    get_interconnect,
+)
+from .report import ClusterReport, RequestRecord
+from .router import (
+    ROUTING_POLICIES,
+    CacheAwarePolicy,
+    LeastOutstandingPolicy,
+    ReplicaView,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    least_loaded,
+    make_policy,
+    policy_names,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterReport",
+    "Replica",
+    "RequestRecord",
+    "InterconnectSpec",
+    "MigrationLink",
+    "INTERCONNECTS",
+    "NVLINK",
+    "PCIE",
+    "get_interconnect",
+    "ROUTING_POLICIES",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "CacheAwarePolicy",
+    "ReplicaView",
+    "least_loaded",
+    "make_policy",
+    "policy_names",
+]

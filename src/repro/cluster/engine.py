@@ -1,0 +1,360 @@
+"""Multi-replica cluster serving: router + replicas on shared virtual time.
+
+A :class:`ClusterEngine` owns N independent :class:`~repro.serving.
+engine.LLMEngine` replicas — each with its own device, memory backend
+(and optional radix-tree prefix cache) — and advances them against one
+shared virtual timeline. Requests are dispatched by a pluggable
+:mod:`routing policy <repro.cluster.router>` at their arrival instants,
+when every replica's queue depth and cache content is exactly what the
+router would observe in a live deployment.
+
+Time coordination is conservative parallel discrete-event simulation:
+replicas that can *produce* events (arrival targets, whose prefill
+completions spawn KV migrations in disaggregated mode) always run ahead
+to the next-arrival horizon first, so every cross-replica event is known
+before any replica advances past it. An idle replica's clock waits for
+its next dispatch, and a busy replica may overshoot an event by at most
+the iteration in flight — exactly the slack a real engine has.
+
+**Disaggregated mode** splits the fleet into prefill and decode
+replicas. A request's prompt runs on a prefill replica (producing the
+first token); the finished prompt's KV cache is then handed to a decode
+replica over a shared interconnect, charged per KV byte at NVLink/PCIe
+bandwidth with transfers serializing on the link. The decode replica
+re-materializes the migrated KV through the ordinary vAttention
+demand-mapping path (map/unmap of physical page-groups against the
+contiguous virtual tensor), so the handoff stresses exactly the
+machinery the paper builds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence
+
+from ..errors import ConfigError, SchedulingError
+from ..serving.engine import EngineConfig, LLMEngine
+from ..serving.request import Request
+from .interconnect import INTERCONNECTS, MigrationLink, get_interconnect
+from .report import ClusterReport, RequestRecord
+from .router import ROUTING_POLICIES, ReplicaView, least_loaded, make_policy
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of one cluster: replica template + fleet shape."""
+
+    #: Per-replica engine configuration (replicas are homogeneous).
+    engine: EngineConfig
+    n_replicas: int
+    routing_policy: str = "round_robin"
+    #: ``cache_aware`` load-imbalance cap (see CacheAwarePolicy).
+    balance_abs_tokens: int = 16_384
+    balance_rel: float = 1.5
+    #: Split the fleet into prefill and decode replicas with KV handoff.
+    disaggregated: bool = False
+    n_prefill_replicas: int = 1
+    #: Link carrying KV migrations: "nvlink" or "pcie".
+    interconnect: str = "nvlink"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_replicas <= 0:
+            raise ConfigError(
+                f"n_replicas must be positive, got {self.n_replicas}"
+            )
+        if self.routing_policy not in ROUTING_POLICIES:
+            known = ", ".join(sorted(ROUTING_POLICIES))
+            raise ConfigError(
+                f"unknown routing policy {self.routing_policy!r}; "
+                f"known: {known}"
+            )
+        if self.interconnect not in INTERCONNECTS:
+            known = ", ".join(sorted(INTERCONNECTS))
+            raise ConfigError(
+                f"unknown interconnect {self.interconnect!r}; known: {known}"
+            )
+        if self.disaggregated:
+            if self.n_replicas < 2:
+                raise ConfigError(
+                    "disaggregated serving needs at least 2 replicas "
+                    "(one prefill + one decode)"
+                )
+            if not 1 <= self.n_prefill_replicas < self.n_replicas:
+                raise ConfigError(
+                    f"n_prefill_replicas must be in [1, {self.n_replicas - 1}]"
+                    f", got {self.n_prefill_replicas}"
+                )
+        if (
+            self.routing_policy == "cache_aware"
+            and not self.engine.enable_prefix_cache
+        ):
+            raise ConfigError(
+                "cache_aware routing requires enable_prefix_cache on the "
+                "replica engine config: without radix trees there is "
+                "nothing to probe"
+            )
+
+
+class Replica(ReplicaView):
+    """One engine replica plus the state the router may observe."""
+
+    def __init__(self, index: int, engine: LLMEngine, role: str) -> None:
+        self.index = index
+        self.engine = engine
+        #: "serve" (aggregated), or "prefill" / "decode" (disaggregated).
+        self.role = role
+
+    @property
+    def outstanding_tokens(self) -> int:
+        return self.engine.outstanding_tokens
+
+    def probe_prefix(self, request: Request) -> int:
+        if request.prefix is None:
+            return 0
+        probe = getattr(self.engine.memory, "probe_prefix_tokens", None)
+        if probe is None:
+            return 0
+        # Same cap a real hit has: one prompt token always computes.
+        return probe(request.prefix.token_ids, limit=request.prompt_len - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Replica({self.index}, {self.role})"
+
+
+@dataclass
+class _Migration:
+    """One KV handoff in flight on the interconnect."""
+
+    ready_time: float
+    record: RequestRecord
+    decode_request: Request
+
+
+class ClusterEngine:
+    """N engine replicas behind a router, on one virtual timeline."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.replicas: List[Replica] = []
+        for index in range(config.n_replicas):
+            role = "serve"
+            if config.disaggregated:
+                role = (
+                    "prefill"
+                    if index < config.n_prefill_replicas
+                    else "decode"
+                )
+            self.replicas.append(
+                Replica(index, LLMEngine(config.engine), role)
+            )
+        #: Replicas arrivals are routed to (all of them, or the prefill
+        #: tier in disaggregated mode). These are the event *sources*:
+        #: only their retirements can spawn migrations.
+        self._route_targets = [
+            r for r in self.replicas if r.role in ("serve", "prefill")
+        ]
+        self._decode_targets = [
+            r for r in self.replicas if r.role == "decode"
+        ]
+        self.router = make_policy(
+            config.routing_policy,
+            balance_abs_tokens=config.balance_abs_tokens,
+            balance_rel=config.balance_rel,
+        )
+        self.link = MigrationLink(get_interconnect(config.interconnect))
+        self._arrivals: Deque[Request] = deque()
+        self._submitted: List[Request] = []
+        self._migrations: List[_Migration] = []
+        #: Finished prefills whose KV has not been put on the link yet.
+        self._pending_transfers: List[tuple] = []
+        self._records: List[RequestRecord] = []
+        #: prefill-clone id -> record, for the retire-time handoff hook.
+        self._awaiting: Dict[str, RequestRecord] = {}
+        self._started = False
+        if config.disaggregated:
+            for replica in self._route_targets:
+                replica.engine.on_retire = self._harvest
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, requests: Sequence[Request]) -> None:
+        """Queue logical requests for routing at their arrival times."""
+        if self._started:
+            raise SchedulingError(
+                "cluster already ran; submit before calling run()"
+            )
+        self._submitted.extend(requests)
+
+    # ------------------------------------------------------------------
+    # The shared-virtual-time event loop
+    # ------------------------------------------------------------------
+    def run(self) -> ClusterReport:
+        """Serve every submitted request; returns the fleet report."""
+        self._started = True
+        self._arrivals = deque(
+            sorted(self._submitted, key=lambda r: r.arrival_time)
+        )
+        while True:
+            arrival_horizon = (
+                self._arrivals[0].arrival_time
+                if self._arrivals
+                else math.inf
+            )
+            # Event sources first: every migration born before the next
+            # arrival must be on the books before the fleet advances.
+            for replica in self._route_targets:
+                replica.engine.run_until(arrival_horizon)
+            self._schedule_transfers()
+            migration_horizon = min(
+                (m.ready_time for m in self._migrations), default=math.inf
+            )
+            now = min(arrival_horizon, migration_horizon)
+            if math.isinf(now):
+                break
+            for replica in self.replicas:
+                replica.engine.run_until(now)
+            self._dispatch_due(now)
+        # Decode replicas never create events; they drain last.
+        for replica in self.replicas:
+            replica.engine.run_until(math.inf)
+        return self._build_report()
+
+    def _dispatch_due(self, now: float) -> None:
+        while self._arrivals and self._arrivals[0].arrival_time <= now:
+            self._route(self._arrivals.popleft())
+        due = sorted(
+            (m for m in self._migrations if m.ready_time <= now),
+            key=lambda m: m.ready_time,
+        )
+        if due:
+            self._migrations = [
+                m for m in self._migrations if m.ready_time > now
+            ]
+            for migration in due:
+                self._dispatch_migration(migration)
+
+    # ------------------------------------------------------------------
+    # Routing and KV migration
+    # ------------------------------------------------------------------
+    def _route(self, request: Request) -> None:
+        replica = self.router.select(request, self._route_targets)
+        record = RequestRecord(
+            request_id=request.request_id,
+            arrival_time=request.arrival_time,
+            prompt_len=request.prompt_len,
+            max_new_tokens=request.max_new_tokens,
+            replica=replica.index,
+            serve_request=request,
+        )
+        if self.config.disaggregated:
+            # The prefill tier runs the prompt and produces exactly the
+            # first token; the rest of the decode happens post-handoff.
+            clone = Request(
+                request_id=f"{request.request_id}#prefill",
+                prompt_len=request.prompt_len,
+                max_new_tokens=1,
+                arrival_time=request.arrival_time,
+                prefix=request.prefix,
+            )
+            record.serve_request = clone
+            if request.max_new_tokens > 1:
+                record.awaits_decode = True
+                self._awaiting[clone.request_id] = record
+            replica.engine.submit([clone])
+        else:
+            replica.engine.submit([request])
+        self._records.append(record)
+
+    def _harvest(self, request: Request) -> None:
+        """Retire hook on the prefill tier: queue a finished prompt's
+        KV for migration (any non-clone retirement is ignored)."""
+        record = self._awaiting.pop(request.request_id, None)
+        if record is not None:
+            self._pending_transfers.append((record, request))
+
+    def _schedule_transfers(self) -> None:
+        """Feed harvested prefill completions to the link in simulated-
+        time order.
+
+        Retire hooks fire during per-replica ``run_until`` sweeps, i.e.
+        in replica order, while the link must serve transfers in the
+        order they were *requested* on the shared timeline — otherwise a
+        replica that happened to be swept first would cut the queue.
+        Harvesting first and sorting per event-loop pass restores time
+        order (up to the one-iteration overshoot replicas already have).
+        """
+        if not self._pending_transfers:
+            return
+        pending = sorted(
+            self._pending_transfers,
+            key=lambda item: (item[1].finish_time, item[1].request_id),
+        )
+        self._pending_transfers = []
+        for record, prefill in pending:
+            self._start_migration(record, prefill)
+
+    def _start_migration(
+        self, record: RequestRecord, prefill: Request
+    ) -> None:
+        """Put a finished prompt's KV on the wire toward the decode tier.
+
+        The transfer is charged per KV byte at the interconnect's
+        bandwidth; the continuation becomes schedulable only once the
+        bytes have landed, so migration cost reaches TTFT/e2e latency
+        through plain clock arithmetic.
+        """
+        shard = self.config.engine.shard
+        nbytes = prefill.context_len * shard.kv_bytes_per_token
+        start, done = self.link.transfer(prefill.finish_time, nbytes)
+        record.migrated_bytes = nbytes
+        record.migration_wait = start - prefill.finish_time
+        record.migration_seconds = done - start
+        continuation = Request(
+            request_id=f"{record.request_id}#decode",
+            prompt_len=prefill.context_len,
+            max_new_tokens=record.max_new_tokens - 1,
+            arrival_time=done,
+            # The migrated KV is resident once mapped; no prefill runs.
+            prefill_done=True,
+            prefilled_tokens=prefill.context_len,
+        )
+        self._migrations.append(_Migration(done, record, continuation))
+
+    def _dispatch_migration(self, migration: _Migration) -> None:
+        replica = least_loaded(self._decode_targets)
+        record = migration.record
+        record.decode_replica = replica.index
+        record.decode_request = migration.decode_request
+        record.awaits_decode = False
+        replica.engine.submit([migration.decode_request])
+
+    # ------------------------------------------------------------------
+    def _build_report(self) -> ClusterReport:
+        for record in self._records:
+            record.cached_prefix_tokens = (
+                record.serve_request.cached_prefix_tokens
+            )
+        end = max(
+            (replica.engine.clock.now for replica in self.replicas),
+            default=0.0,
+        )
+        return ClusterReport(
+            n_replicas=self.config.n_replicas,
+            routing_policy=self.config.routing_policy,
+            disaggregated=self.config.disaggregated,
+            interconnect=self.config.interconnect,
+            records=list(self._records),
+            replica_reports=[
+                replica.engine.partial_report()
+                for replica in self.replicas
+            ],
+            start_time=0.0,
+            end_time=end,
+            migrations=self.link.transfers,
+            migrated_bytes=self.link.migrated_bytes,
+            migration_seconds=self.link.busy_seconds,
+        )

@@ -1,0 +1,182 @@
+"""Fleet-level reporting for the cluster serving subsystem.
+
+A :class:`ClusterReport` aggregates one :class:`~repro.metrics.
+collector.RunReport` per replica plus one :class:`RequestRecord` per
+*logical* request. Logical records matter because disaggregated serving
+splits one user request across two physical requests (a prefill clone
+and a decode continuation on another replica): end-to-end latency and
+TTFT are only meaningful stitched back together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..metrics.collector import RunReport
+from ..metrics.stats import mean, percentile
+from ..serving.request import Request
+
+
+@dataclass
+class RequestRecord:
+    """One logical request's journey through the cluster."""
+
+    request_id: str
+    arrival_time: float
+    prompt_len: int
+    max_new_tokens: int
+    #: Replica the request was routed to (serves it fully in aggregated
+    #: mode; runs only the prefill in disaggregated mode).
+    replica: int
+    #: Physical request on ``replica``.
+    serve_request: Request
+    #: Decode-side replica and continuation (disaggregated mode only).
+    decode_replica: Optional[int] = None
+    decode_request: Optional[Request] = None
+    #: KV bytes handed prefill -> decode replica for this request.
+    migrated_bytes: int = 0
+    #: Seconds the migration occupied the interconnect.
+    migration_seconds: float = 0.0
+    #: Seconds the migration waited for the link to free up.
+    migration_wait: float = 0.0
+    #: Prompt tokens served from the prefix cache at prefill time.
+    cached_prefix_tokens: int = 0
+    #: Set while a prefill clone has finished but its continuation has
+    #: not been dispatched yet (KV in flight on the interconnect).
+    awaits_decode: bool = False
+
+    @property
+    def _last_stage(self) -> Request:
+        return (
+            self.decode_request
+            if self.decode_request is not None
+            else self.serve_request
+        )
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether every stage of the logical request completed."""
+        if self.decode_request is not None:
+            return self.decode_request.is_finished
+        # In disaggregated mode a record awaiting its migration has a
+        # finished prefill clone but no decode stage yet; it only counts
+        # as finished once no continuation is owed.
+        return self.serve_request.is_finished and not self.awaits_decode
+
+    @property
+    def ttft(self) -> float:
+        """Arrival to first token (produced by the prefill stage)."""
+        return self.serve_request.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival to last-stage completion, migration delay included."""
+        return self._last_stage.finish_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Final report of one cluster run."""
+
+    n_replicas: int
+    routing_policy: str
+    disaggregated: bool
+    interconnect: str
+    records: Sequence[RequestRecord]
+    replica_reports: Sequence[RunReport]
+    start_time: float
+    end_time: float
+    #: Fleet-wide migration accounting (shared link totals).
+    migrations: int = 0
+    migrated_bytes: int = 0
+    migration_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Wall-clock from first arrival window to last replica idle."""
+        return self.end_time - self.start_time
+
+    @property
+    def finished_records(self) -> List[RequestRecord]:
+        """Logical requests that completed every stage."""
+        return [r for r in self.records if r.is_finished]
+
+    def requests_per_minute(self) -> float:
+        """Fleet serving throughput."""
+        if self.makespan == 0:
+            raise ValueError("empty cluster run")
+        return 60.0 * len(self.finished_records) / self.makespan
+
+    # ------------------------------------------------------------------
+    # Latency percentiles over logical requests
+    # ------------------------------------------------------------------
+    def ttfts(self) -> List[float]:
+        """Per-logical-request time to first token."""
+        return [r.ttft for r in self.finished_records]
+
+    def e2e_latencies(self) -> List[float]:
+        """Per-logical-request end-to-end latency."""
+        return [r.e2e_latency for r in self.finished_records]
+
+    def mean_ttft(self) -> float:
+        return mean(self.ttfts())
+
+    def median_ttft(self) -> float:
+        return percentile(self.ttfts(), 50.0)
+
+    def p99_ttft(self) -> float:
+        return percentile(self.ttfts(), 99.0)
+
+    def median_latency(self) -> float:
+        return percentile(self.e2e_latencies(), 50.0)
+
+    def p99_latency(self) -> float:
+        return percentile(self.e2e_latencies(), 99.0)
+
+    # ------------------------------------------------------------------
+    # Fleet balance and cache effectiveness
+    # ------------------------------------------------------------------
+    @property
+    def requests_per_replica(self) -> Tuple[int, ...]:
+        """Logical requests routed to each replica (by prefill stage)."""
+        counts = [0] * self.n_replicas
+        for record in self.records:
+            counts[record.replica] += 1
+        return tuple(counts)
+
+    @property
+    def replica_hit_rates(self) -> Tuple[Optional[float], ...]:
+        """Per-replica prefix-cache hit rate (None: cache disabled)."""
+        rates: List[Optional[float]] = []
+        for report in self.replica_reports:
+            cache = report.prefix_cache
+            rates.append(None if cache is None else cache.hit_rate)
+        return tuple(rates)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fleet-aggregate prefix-cache hit rate (0 with no lookups)."""
+        lookups = hits = 0
+        for report in self.replica_reports:
+            cache = report.prefix_cache
+            if cache is not None:
+                lookups += cache.lookups
+                hits += cache.hits
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def cache_hit_tokens(self) -> int:
+        """Fleet-aggregate prompt tokens served from prefix caches."""
+        return sum(
+            report.prefix_cache.hit_tokens
+            for report in self.replica_reports
+            if report.prefix_cache is not None
+        )
+
+    @property
+    def mean_migration_wait(self) -> float:
+        """Mean link-queueing delay per migrated request."""
+        waits = [r.migration_wait for r in self.records if r.migrated_bytes]
+        return mean(waits) if waits else 0.0

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..gpu.spec import A100, GpuSpec
-from ..metrics.stats import mean
 from ..models.shard import ShardedModel
 from ..models.zoo import YI_6B
 from ..serving.engine import EngineConfig, LLMEngine
@@ -92,8 +91,7 @@ def _serve(
     )
     report = engine.run()
     throughput = report.metrics.prefill_throughput()
-    ttft = mean([r.ttft for r in report.finished_requests])
-    return report, throughput, ttft
+    return report, throughput, report.mean_ttft()
 
 
 def _baseline(gpu: GpuSpec):

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..gpu.spec import A100, GpuSpec
-from ..metrics.stats import cdf_points, median
+from ..metrics.stats import cdf_points
 from ..models.config import ModelConfig
 from ..models.zoo import LLAMA3_8B, YI_34B, YI_6B
 from ..workloads.arrival import poisson_arrivals
@@ -39,11 +39,11 @@ class Fig10Cell:
     qps: float
     system: str
     latencies: Tuple[float, ...]
-
-    @property
-    def median_latency(self) -> float:
-        """Median end-to-end request latency (seconds)."""
-        return median(list(self.latencies))
+    #: Report-level summary statistics (RunReport accessors).
+    median_latency: float
+    p99_latency: float
+    median_ttft: float
+    p99_ttft: float
 
     def cdf(self) -> List[Tuple[float, float]]:
         """The (latency, fraction) series the paper plots."""
@@ -70,6 +70,10 @@ def run_one(
         qps=qps,
         system=system,
         latencies=tuple(report.e2e_latencies()),
+        median_latency=report.median_latency(),
+        p99_latency=report.p99_latency(),
+        median_ttft=report.median_ttft(),
+        p99_ttft=report.p99_ttft(),
     )
 
 
@@ -118,6 +122,17 @@ def main() -> None:
             for c in cells if c.model == model and c.qps == qps
         }
         cells_text = "".join(f" {row[s]:>15.1f}" for s in SYSTEMS)
+        print(f"{model:>12} {qps:>6.3f}{cells_text}")
+    print("\nFigure 10 companion: time to first token (median / p99, seconds)")
+    print(f"{'model':>12} {'qps':>6}" + "".join(f" {s:>19}" for s in SYSTEMS))
+    for model, qps in seen:
+        row = {
+            c.system: (c.median_ttft, c.p99_ttft)
+            for c in cells if c.model == model and c.qps == qps
+        }
+        cells_text = "".join(
+            f" {row[s][0]:>9.1f}/{row[s][1]:>9.1f}" for s in SYSTEMS
+        )
         print(f"{model:>12} {qps:>6.3f}{cells_text}")
     for model, qps in seen:
         series = {

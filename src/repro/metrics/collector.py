@@ -112,3 +112,29 @@ class RunReport:
     def p99_latency(self) -> float:
         """Tail request execution latency."""
         return percentile(self.e2e_latencies(), 99.0)
+
+    def ttft_latencies(self) -> List[float]:
+        """Per-request time to first token.
+
+        Requests whose first token was produced on another replica (a
+        migrated decode continuation in disaggregated cluster serving)
+        carry no first-token timestamp here and are skipped; their TTFT
+        belongs to the prefill-side report.
+        """
+        return [
+            r.ttft
+            for r in self.finished_requests
+            if r.first_token_time is not None
+        ]
+
+    def mean_ttft(self) -> float:
+        """Mean time to first token."""
+        return mean(self.ttft_latencies())
+
+    def median_ttft(self) -> float:
+        """Median time to first token."""
+        return percentile(self.ttft_latencies(), 50.0)
+
+    def p99_ttft(self) -> float:
+        """Tail time to first token."""
+        return percentile(self.ttft_latencies(), 99.0)

@@ -18,6 +18,7 @@ of clock arithmetic.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence
@@ -190,6 +191,10 @@ class LLMEngine:
         self._waiting: Deque[Request] = deque()  # arrived, not admitted
         self._running: List[Request] = []
         self._all_requests: List[Request] = []
+        #: Invoked with each request the instant it finishes. The
+        #: cluster layer uses this to hand prefill-replica KV off to a
+        #: decode replica at the simulated time the prefill completed.
+        self.on_retire: Optional[Callable[[Request], None]] = None
 
     # ------------------------------------------------------------------
     def _build_memory(self) -> MemoryBackend:
@@ -273,26 +278,7 @@ class LLMEngine:
     def run(self, max_iterations: Optional[int] = None) -> RunReport:
         """Serve all submitted requests; returns the run report."""
         start = self.clock.now
-        iterations = 0
-        while self._has_work():
-            if max_iterations is not None and iterations >= max_iterations:
-                break
-            self._ingest_arrivals()
-            self._admit()
-            if not self._running:
-                if not self._advance_to_next_arrival():
-                    break
-                continue
-            prefill = next(
-                (r for r in self._running if r.needs_prefill), None
-            )
-            if prefill is not None and self.config.prefill_chunk_size:
-                self._run_mixed(prefill)
-            elif prefill is not None:
-                self._run_prefill(prefill)
-            else:
-                self._run_decode()
-            iterations += 1
+        self._serve(math.inf, max_iterations)
         return RunReport(
             requests=list(self._all_requests),
             metrics=self.metrics,
@@ -300,6 +286,52 @@ class LLMEngine:
             end_time=self.clock.now,
             prefix_cache=self.memory.cache_report(),
         )
+
+    def run_until(self, deadline: float) -> int:
+        """Serve until the clock reaches ``deadline`` or work runs out.
+
+        An iteration that starts before the deadline runs to completion,
+        so the clock may overshoot it — exactly as a real engine finishes
+        the iteration in flight when an external event lands. An *idle*
+        engine never advances past the deadline (its clock waits for the
+        next arrival), so requests dispatched later are not penalized.
+        Returns the number of iterations executed.
+        """
+        return self._serve(deadline, None)
+
+    def _serve(
+        self, deadline: float, max_iterations: Optional[int]
+    ) -> int:
+        """The scheduler loop behind :meth:`run` and :meth:`run_until`."""
+        iterations = 0
+        while self._has_work():
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            self._ingest_arrivals()
+            self._admit()
+            if not self._running:
+                upcoming = (
+                    self._pending[0].arrival_time if self._pending else None
+                )
+                if upcoming is None or upcoming > deadline:
+                    break
+                self.clock.advance_to(upcoming)
+                continue
+            if self.clock.now >= deadline:
+                break
+            self._run_iteration()
+            iterations += 1
+        return iterations
+
+    def _run_iteration(self) -> None:
+        """Execute one scheduling iteration over the running batch."""
+        prefill = next((r for r in self._running if r.needs_prefill), None)
+        if prefill is not None and self.config.prefill_chunk_size:
+            self._run_mixed(prefill)
+        elif prefill is not None:
+            self._run_prefill(prefill)
+        else:
+            self._run_decode()
 
     def partial_report(self) -> RunReport:
         """Report of everything served so far.
@@ -319,15 +351,26 @@ class LLMEngine:
     def _has_work(self) -> bool:
         return bool(self._pending or self._waiting or self._running)
 
+    def has_work(self) -> bool:
+        """Whether any submitted request has not yet finished."""
+        return self._has_work()
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Tokens of work this engine still owes: un-prefilled prompt
+        tokens plus decode tokens yet to be generated, across every
+        routed-but-unfinished request. The load signal the cluster's
+        ``least_outstanding_tokens`` and ``cache_aware`` routers read.
+        """
+        total = 0
+        for request in (*self._pending, *self._waiting, *self._running):
+            total += request.prompt_len - request.prefilled_tokens
+            total += max(0, request.max_new_tokens - request.generated)
+        return total
+
     def _ingest_arrivals(self) -> None:
         while self._pending and self._pending[0].arrival_time <= self.clock.now:
             self._waiting.append(self._pending.popleft())
-
-    def _advance_to_next_arrival(self) -> bool:
-        if not self._pending:
-            return False
-        self.clock.advance_to(self._pending[0].arrival_time)
-        return True
 
     def _admit(self) -> None:
         while (
@@ -580,6 +623,8 @@ class LLMEngine:
             ):
                 self.memory.retire(request)
                 request.finish(self.clock.now)
+                if self.on_retire is not None:
+                    self.on_retire(request)
             else:
                 still_running.append(request)
         self._running = still_running

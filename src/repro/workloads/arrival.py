@@ -34,6 +34,62 @@ def poisson_arrivals(
     return arrivals
 
 
+def bursty_arrivals(
+    qps: float,
+    count: int,
+    seed: int,
+    burst_factor: float = 4.0,
+    mean_on: float = 10.0,
+    start: float = 0.0,
+) -> List[float]:
+    """Arrivals of a two-state on/off Markov-modulated Poisson process.
+
+    The source alternates between an ON state emitting a Poisson stream
+    at ``burst_factor * qps`` and a silent OFF state. Dwell times are
+    exponential: ON periods last ``mean_on`` seconds on average, and the
+    OFF dwell is sized so the *long-run* average rate is exactly
+    ``qps`` (duty cycle ``1 / burst_factor``). The result is the bursty,
+    heavy-tailed inter-arrival pattern production request logs show —
+    queues build during bursts and drain during lulls — which is the
+    regime that separates routing policies; homogeneous Poisson load
+    flatters all of them equally.
+
+    ``burst_factor`` must exceed 1 (at exactly 1 the process degenerates
+    to :func:`poisson_arrivals`). Deterministic for a fixed ``seed``.
+    """
+    if qps <= 0:
+        raise ConfigError(f"qps must be positive, got {qps}")
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    if burst_factor <= 1.0:
+        raise ConfigError(
+            f"burst_factor must exceed 1, got {burst_factor} "
+            f"(use poisson_arrivals for unmodulated load)"
+        )
+    if mean_on <= 0:
+        raise ConfigError(f"mean_on must be positive, got {mean_on}")
+    mean_off = mean_on * (burst_factor - 1.0)
+    on_rate = burst_factor * qps
+    rng = random.Random(seed)
+    now = start
+    # The source starts in an ON period (a request log always begins at
+    # a burst: that is when anyone looks).
+    on_until = start + rng.expovariate(1.0 / mean_on)
+    arrivals: List[float] = []
+    for _ in range(count):
+        now += rng.expovariate(on_rate)
+        # A gap overrunning the ON period pauses during the OFF dwell
+        # and resumes when the source switches back on (exponential
+        # gaps are memoryless, so the residual is again exponential).
+        while now > on_until:
+            off = rng.expovariate(1.0 / mean_off)
+            next_on = on_until + off
+            now += off
+            on_until = next_on + rng.expovariate(1.0 / mean_on)
+        arrivals.append(now)
+    return arrivals
+
+
 def uniform_arrivals(
     qps: float, count: int, start: float = 0.0
 ) -> List[float]:

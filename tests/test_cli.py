@@ -12,6 +12,19 @@ class TestList:
         for name in ("fig02", "tab08", "ext-swap"):
             assert name in out
 
+    def test_list_prints_dash_and_underscore_aliases(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Both accepted spellings of every dashed name are printed.
+        for name in ("ext_cluster_router", "ext-cluster-router",
+                     "ext_prefix_cache", "ext-prefix-cache"):
+            assert name in out
+
+    def test_cluster_experiment_registered(self):
+        assert "ext-cluster-router" in EXPERIMENTS
+        module_name, _, _ = EXPERIMENTS["ext-cluster-router"]
+        assert module_name == "ext_cluster_router"
+
     def test_catalogue_covers_every_eval_artifact(self):
         # Every table and figure of the paper's evaluation is runnable.
         expected = {

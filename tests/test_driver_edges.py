@@ -94,11 +94,16 @@ class TestFig8Helpers:
 
 
 class TestFig10Helpers:
-    def test_cell_cdf_and_median(self):
-        cell = fig10_online_latency.Fig10Cell(
-            model="Yi-6B", qps=0.2, system="FA2_Paged",
-            latencies=(10.0, 20.0, 30.0),
+    @staticmethod
+    def _cell(system, latencies, median):
+        return fig10_online_latency.Fig10Cell(
+            model="Yi-6B", qps=0.2, system=system, latencies=latencies,
+            median_latency=median, p99_latency=max(latencies),
+            median_ttft=median / 10.0, p99_ttft=max(latencies) / 10.0,
         )
+
+    def test_cell_cdf_and_median(self):
+        cell = self._cell("FA2_Paged", (10.0, 20.0, 30.0), median=20.0)
         assert cell.median_latency == 20.0
         cdf = cell.cdf()
         assert cdf[0] == (10.0, pytest.approx(1 / 3))
@@ -106,12 +111,8 @@ class TestFig10Helpers:
 
     def test_median_reduction_helper(self):
         cells = [
-            fig10_online_latency.Fig10Cell(
-                "Yi-6B", 0.2, "FA2_Paged", (100.0, 100.0)
-            ),
-            fig10_online_latency.Fig10Cell(
-                "Yi-6B", 0.2, "FA2_vAttention", (60.0, 60.0)
-            ),
+            self._cell("FA2_Paged", (100.0, 100.0), median=100.0),
+            self._cell("FA2_vAttention", (60.0, 60.0), median=60.0),
         ]
         assert fig10_online_latency.median_reduction(
             cells, "Yi-6B", 0.2

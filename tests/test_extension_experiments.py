@@ -3,6 +3,7 @@
 
 from repro.experiments import (
     ext_chunked_prefill,
+    ext_cluster_router,
     ext_large_models,
     ext_prefix_cache,
     ext_prefix_sharing,
@@ -79,6 +80,47 @@ class TestChunkedPrefill:
         rows = ext_chunked_prefill.run(chunk_sizes=(None, 2_048))
         makespans = [r.makespan for r in rows]
         assert max(makespans) / min(makespans) < 1.1
+
+
+class TestClusterRouter:
+    def test_cache_aware_beats_round_robin(self):
+        rows = {
+            row.policy: row
+            for row in ext_cluster_router.run(
+                replica_counts=(2,),
+                policies=("round_robin", "cache_aware"),
+                sharing_factors=(8,),
+            )
+        }
+        rr, ca = rows["round_robin"], rows["cache_aware"]
+        assert ca.cache_hit_rate > rr.cache_hit_rate
+        assert ca.mean_ttft < rr.mean_ttft
+        assert all(n > 0 for n in ca.requests_per_replica)
+
+    def test_no_sharing_control_has_no_hits(self):
+        (row,) = ext_cluster_router.run(
+            replica_counts=(2,),
+            policies=("cache_aware",),
+            sharing_factors=(1,),
+        )
+        assert row.cache_hit_rate == 0.0
+        assert row.cache_hit_tokens == 0
+
+    def test_disaggregation_accounts_migrations(self):
+        rows = {
+            row.interconnect: row
+            for row in ext_cluster_router.run_disaggregated(
+                n_replicas=2, n_prefill_replicas=1
+            )
+        }
+        for row in rows.values():
+            assert row.migrations == ext_cluster_router.REQUESTS
+            assert row.migrated_bytes > 0
+            assert row.migration_seconds > 0
+        assert (
+            rows["pcie"].migration_seconds
+            > rows["nvlink"].migration_seconds
+        )
 
 
 class TestLargeModels:

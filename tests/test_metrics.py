@@ -63,6 +63,38 @@ class TestStats:
             ratio(1.0, 0.0)
 
 
+class TestPercentileEdgeCases:
+    def test_single_element_every_q(self):
+        for q in (0.0, 37.5, 50.0, 99.0, 100.0):
+            assert percentile([42.0], q) == 42.0
+
+    def test_q_zero_and_hundred_are_extremes(self):
+        values = [9.0, -3.0, 4.0, 17.0]
+        assert percentile(values, 0.0) == -3.0
+        assert percentile(values, 100.0) == 17.0
+
+    def test_unsorted_input_sorted_internally(self):
+        shuffled = [30.0, 10.0, 20.0]
+        assert percentile(shuffled, 50.0) == 20.0
+        # The input list must not be reordered in place.
+        assert shuffled == [30.0, 10.0, 20.0]
+
+    def test_exact_rank_needs_no_interpolation(self):
+        # Five elements: q=25 lands exactly on index 1.
+        assert percentile([5.0, 1.0, 2.0, 3.0, 4.0], 25.0) == 2.0
+
+    def test_interpolates_between_ranks(self):
+        assert percentile([0.0, 10.0], 75.0) == pytest.approx(7.5)
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+
 def record(phase: str, latency: float, batch: int = 4, tokens: int = 4,
            alloc: float = 0.0, start: float = 0.0) -> IterationRecord:
     return IterationRecord(
@@ -139,3 +171,74 @@ class TestRunReport:
             metrics=MetricsCollector(), start_time=0.0, end_time=10.0,
         )
         assert len(report.finished_requests) == 1
+
+    def test_ttft_percentiles(self):
+        requests = [
+            self._finished_request("a", 0.0, 4.0),
+            self._finished_request("b", 2.0, 10.0),
+        ]
+        report = RunReport(
+            requests=requests, metrics=MetricsCollector(),
+            start_time=0.0, end_time=10.0,
+        )
+        # record_prefill stamps first_token_time at the finish instant.
+        assert report.ttft_latencies() == [4.0, 8.0]
+        assert report.mean_ttft() == pytest.approx(6.0)
+        assert report.median_ttft() == pytest.approx(6.0)
+        assert report.p99_ttft() == pytest.approx(8.0, rel=0.01)
+
+    def test_ttft_skips_requests_without_first_token(self):
+        # A migrated decode continuation finishes on this replica but
+        # produced its first token elsewhere: no TTFT sample here.
+        continuation = Request(
+            request_id="m#decode", prompt_len=11, max_new_tokens=2,
+            prefill_done=True, prefilled_tokens=11,
+        )
+        continuation.state = RequestState.RUNNING
+        continuation.record_decode_token(now=1.0)
+        continuation.record_decode_token(now=2.0)
+        continuation.finish(now=2.0)
+        report = RunReport(
+            requests=[continuation, self._finished_request("a", 0.0, 5.0)],
+            metrics=MetricsCollector(), start_time=0.0, end_time=5.0,
+        )
+        assert len(report.finished_requests) == 2
+        assert report.ttft_latencies() == [5.0]
+
+
+class TestRunReportEmptyRuns:
+    def _report(self, requests, end=0.0):
+        return RunReport(
+            requests=requests, metrics=MetricsCollector(),
+            start_time=0.0, end_time=end,
+        )
+
+    def test_empty_run_accessors(self):
+        report = self._report([])
+        assert report.finished_requests == []
+        assert report.e2e_latencies() == []
+        assert report.ttft_latencies() == []
+        assert report.makespan == 0.0
+        with pytest.raises(ValueError):
+            report.requests_per_minute()
+        with pytest.raises(ValueError):
+            report.median_latency()
+        with pytest.raises(ValueError):
+            report.p99_latency()
+        with pytest.raises(ValueError):
+            report.mean_ttft()
+        with pytest.raises(ValueError):
+            report.median_ttft()
+        with pytest.raises(ValueError):
+            report.p99_ttft()
+
+    def test_zero_finished_run(self):
+        # Requests arrived but none completed (an aborted run).
+        stuck = Request(request_id="s", prompt_len=8, max_new_tokens=4)
+        report = self._report([stuck], end=3.0)
+        assert report.finished_requests == []
+        assert report.requests_per_minute() == 0.0
+        with pytest.raises(ValueError):
+            report.median_latency()
+        with pytest.raises(ValueError):
+            report.median_ttft()

@@ -167,6 +167,42 @@ class TestEviction:
         assert tree.evict_lru() is entry
 
 
+class TestProbe:
+    def test_probe_matches_like_match_prefix(self):
+        tree = RadixTree()
+        tree.insert(ids((1, 8), (2, 4)), slot=0, group="g", live=False)
+        entry, matched = tree.probe(ids((1, 8)))
+        assert entry is not None
+        assert matched == 8
+        entry, matched = tree.probe(ids((1, 8), (2, 4), (3, 2)))
+        assert matched == 12
+        assert tree.probe(ids((9, 4))) == (None, 0)
+
+    def test_probe_respects_limit(self):
+        tree = RadixTree()
+        tree.insert(ids((1, 8)), slot=0, group="g", live=False)
+        _, matched = tree.probe(ids((1, 8)), limit=3)
+        assert matched == 3
+        assert tree.probe(ids((1, 8)), limit=0) == (None, 0)
+
+    def test_probe_leaves_state_untouched(self):
+        # The cluster router probes every replica per routing decision;
+        # probes must not skew hit statistics or refresh LRU order.
+        tree = RadixTree()
+        entry = tree.insert(
+            ids((1, 8)), slot=0, group="g", live=False, now=5.0
+        )
+        for _ in range(3):
+            tree.probe(ids((1, 8)))
+            tree.probe(ids((9, 8)))
+        assert tree.stats.lookups == 0
+        assert tree.stats.hits == 0
+        assert tree.stats.misses == 0
+        assert tree.stats.hit_tokens == 0
+        assert entry.hits == 0
+        assert entry.last_access == 5.0
+
+
 class TestStats:
     def test_hit_rate(self):
         tree = RadixTree()

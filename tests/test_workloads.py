@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.workloads.arrival import (
     batch_arrivals,
+    bursty_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
@@ -50,6 +51,55 @@ class TestArrivals:
             uniform_arrivals(1.0, 0)
         with pytest.raises(ConfigError):
             batch_arrivals(0)
+
+
+class TestBurstyArrivals:
+    def test_sorted_positive_and_deterministic(self):
+        arrivals = bursty_arrivals(qps=2.0, count=200, seed=11)
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+        assert arrivals == bursty_arrivals(qps=2.0, count=200, seed=11)
+        assert arrivals != bursty_arrivals(qps=2.0, count=200, seed=12)
+
+    def test_long_run_rate_approaches_qps(self):
+        arrivals = bursty_arrivals(qps=4.0, count=30_000, seed=5)
+        observed = len(arrivals) / arrivals[-1]
+        # The MMPP's heavy-tailed off dwells make convergence slower
+        # than homogeneous Poisson, hence the looser tolerance.
+        assert observed == pytest.approx(4.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        import statistics
+
+        arrivals = bursty_arrivals(qps=2.0, count=10_000, seed=3)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        cv = statistics.pstdev(gaps) / statistics.fmean(gaps)
+        # A Poisson process has CV = 1; on/off modulation must push the
+        # inter-arrival dispersion far above it.
+        assert cv > 2.0
+        # Off dwells appear as gaps far beyond the on-state mean gap.
+        on_gap = 1.0 / (4.0 * 2.0)
+        assert max(gaps) > 20 * on_gap
+
+    def test_bursts_are_locally_fast(self):
+        arrivals = bursty_arrivals(
+            qps=2.0, count=5_000, seed=9, burst_factor=8.0
+        )
+        gaps = sorted(b - a for a, b in zip(arrivals, arrivals[1:]))
+        # Inside a burst the median gap tracks the ON rate (8x qps),
+        # not the long-run rate.
+        median_gap = gaps[len(gaps) // 2]
+        assert median_gap < 1.0 / (2.0 * 2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            bursty_arrivals(qps=0, count=10, seed=1)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(qps=1.0, count=0, seed=1)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(qps=1.0, count=10, seed=1, burst_factor=1.0)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(qps=1.0, count=10, seed=1, mean_on=0.0)
 
 
 class TestTraceSpec:
