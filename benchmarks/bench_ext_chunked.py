@@ -1,24 +1,28 @@
-"""Ablation bench: chunked prefill vs monolithic (paper ref [36])."""
+"""Ablation bench: hybrid-batch chunked prefill vs monolithic ([36])."""
 
 from repro.experiments import ext_chunked_prefill as driver
 
 
 def test_ext_chunked_prefill(benchmark):
     rows = benchmark.pedantic(driver.run, rounds=1, iterations=1)
-    print("\nChunked prefill: worst decode stall behind a 64K prompt")
+    print("\nHybrid batching: worst decode stall behind a 64K prompt")
     for row in rows:
-        name = "monolithic" if row.chunk_size is None else f"chunk={row.chunk_size}"
+        name = (
+            "monolithic"
+            if row.token_budget is None
+            else f"budget={row.token_budget}"
+        )
         print(f"  {name:>12}: stall {row.worst_decode_stall:.3f}s, "
               f"makespan {row.makespan:.1f}s")
-    by_chunk = {row.chunk_size: row for row in rows}
-    # Monolithic prefill stalls decodes for the whole prompt; chunking
-    # bounds the stall by roughly one chunk's processing time, and
-    # smaller chunks shrink it monotonically.
-    assert by_chunk[None].worst_decode_stall > 5.0
-    assert by_chunk[8_192].worst_decode_stall < 3.0
+    by_budget = {row.token_budget: row for row in rows}
+    # Monolithic prefill stalls decodes for the whole prompt; hybrid
+    # batching bounds the stall by roughly one budget's processing
+    # time, and smaller budgets shrink it monotonically.
+    assert by_budget[None].worst_decode_stall > 5.0
+    assert by_budget[8_192].worst_decode_stall < 3.0
     assert (
-        by_chunk[2_048].worst_decode_stall
-        < by_chunk[8_192].worst_decode_stall
+        by_budget[2_048].worst_decode_stall
+        < by_budget[8_192].worst_decode_stall
     )
     # Throughput is not sacrificed: makespans stay within a few percent.
     makespans = [row.makespan for row in rows]

@@ -1,0 +1,95 @@
+"""Scheduler-policy bench: FCFS vs SLA vs hybrid under bursty load.
+
+Run under pytest (``pytest benchmarks/bench_ext_sched.py``) for the
+acceptance assertions, or standalone to emit JSON::
+
+    PYTHONPATH=src python benchmarks/bench_ext_sched.py --output out.json
+"""
+
+import dataclasses
+import json
+
+from repro.experiments import ext_sched_policy as driver
+
+
+def _rows():
+    return driver.run()
+
+
+def test_ext_sched_policy(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print("\nScheduler-policy sweep (chat/doc mixture, bursty arrivals)")
+    for row in rows:
+        name = row.policy
+        if row.token_budget is not None:
+            name = f"{row.policy}@{row.token_budget}"
+        print(
+            f"  {name:>12}: TTFT p99 {row.p99_ttft:7.3f}s "
+            f"(chat {row.chat_p99_ttft:7.3f}) mean {row.mean_ttft:6.3f}s "
+            f"{row.requests_per_minute:6.1f} req/min"
+        )
+    by_cell = {(r.policy, r.token_budget): r for r in rows}
+    fcfs = by_cell[("fcfs", None)]
+    sla = by_cell[("sla", None)]
+    hybrids = [r for r in rows if r.policy == "hybrid"]
+
+    # The PR 3 acceptance bar: hybrid batching improves p99 TTFT over
+    # FCFS at equal-or-better throughput, at every swept budget.
+    for hybrid in hybrids:
+        assert hybrid.p99_ttft < fcfs.p99_ttft
+        assert hybrid.requests_per_minute >= fcfs.requests_per_minute
+    # Mixed batches also lift the interactive class's tail and the
+    # average first token.
+    for hybrid in hybrids:
+        assert hybrid.chat_p99_ttft < fcfs.chat_p99_ttft
+        assert hybrid.mean_ttft < fcfs.mean_ttft
+
+    # Deadline scheduling is a different trade: the budgeted chat class
+    # collapses its TTFT (admission + prefill priority) while the
+    # deadline-less doc class pays — and fleet throughput holds.
+    assert sla.chat_p99_ttft < 0.5 * fcfs.chat_p99_ttft
+    assert sla.mean_ttft < fcfs.mean_ttft
+    assert sla.doc_p99_ttft >= fcfs.doc_p99_ttft
+    assert sla.requests_per_minute >= 0.99 * fcfs.requests_per_minute
+
+
+def test_ext_sched_deterministic(benchmark):
+    first = benchmark.pedantic(
+        lambda: driver.serve("hybrid", token_budget=2_048),
+        rounds=1,
+        iterations=1,
+    )
+    second = driver.serve("hybrid", token_budget=2_048)
+    assert first.p99_ttft() == second.p99_ttft()
+    assert first.makespan == second.makespan
+    assert [r.finish_time for r in first.requests] == [
+        r.finish_time for r in second.requests
+    ]
+
+
+def main() -> None:
+    """Standalone mode: run the sweep and write it as JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="sched_bench.json",
+        help="path the JSON results are written to",
+    )
+    args = parser.parse_args()
+    rows = _rows()
+    payload = {
+        "experiment": "ext_sched_policy",
+        "requests": driver.REQUESTS,
+        "qps": driver.QPS,
+        "chat_ttft_budget": driver.CHAT_TTFT_BUDGET,
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.output}: {len(rows)} policy cells")
+
+
+if __name__ == "__main__":
+    main()

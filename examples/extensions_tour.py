@@ -73,14 +73,15 @@ def demo_swap() -> None:
 
 def demo_chunked_prefill() -> None:
     """A 64K prompt no longer stalls running decodes."""
-    print("3. chunked prefill (reference [36])")
-    for chunk in (None, 2_048):
+    print("3. hybrid-batch chunked prefill (reference [36])")
+    for budget in (None, 2_048):
         engine = LLMEngine(EngineConfig(
             shard=ShardedModel(YI_6B, 1),
             gpu=A100,
             memory_backend="vattention",
             max_batch_size=9,
-            prefill_chunk_size=chunk,
+            scheduler_policy="fcfs" if budget is None else "hybrid",
+            sched_token_budget=budget or 1,
         ))
         chat = fixed_trace(count=8, prompt_len=2_000, max_new_tokens=300,
                            name="chat")
@@ -94,7 +95,7 @@ def demo_chunked_prefill() -> None:
             if r.phase in ("decode", "mixed")
         ]
         stall = max(b - a for a, b in zip(progress, progress[1:]))
-        name = "monolithic" if chunk is None else f"chunk={chunk}"
+        name = "monolithic" if budget is None else f"budget={budget}"
         print(f"   {name:>11}: worst decode stall {stall:5.2f}s")
     print()
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+
+Arguments are markdown files or directories (scanned recursively for
+``*.md``). Every inline link or image whose target is *relative* (no
+URL scheme, not an in-page ``#anchor``) must point at an existing file
+or directory, resolved against the containing file. External URLs are
+not fetched — CI stays hermetic. Exit code 1 if anything is broken.
+
+No third-party dependencies, like the rest of the repo.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline links/images: [text](target) / ![alt](target). Reference-style
+#: definitions ([id]: target) are rare here and intentionally ignored.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of markdown files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.md")))
+        else:
+            found.append(path)
+    return found
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Broken (target, reason) pairs of one markdown file."""
+    problems: List[Tuple[str, str]] = []
+    try:
+        text = path.read_text()
+    except OSError as error:
+        return [(str(path), f"unreadable: {error}")]
+    # Links inside fenced code blocks are code, not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if _SCHEME.match(target) or target.startswith("#"):
+            continue  # external URL / in-page anchor
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing: {resolved}"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    files = iter_markdown(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    broken = 0
+    for path in files:
+        for target, reason in check_file(path):
+            print(f"{path}: broken link {target!r} ({reason})",
+                  file=sys.stderr)
+            broken += 1
+    checked = len(files)
+    if broken:
+        print(f"{broken} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"link check OK: {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

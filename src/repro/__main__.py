@@ -3,9 +3,16 @@
 Usage::
 
     python -m repro list
+    python -m repro list --markdown               # docs/paper_map.md table
+    python -m repro list --markdown --check docs/paper_map.md
     python -m repro run fig02 fig03 tab08
     python -m repro run all
-    python -m repro run fig09 -- small    # reduced-scale engine runs
+
+Every experiment answers to two spellings: the dashed catalogue name
+and the underscore module-style alias (``repro run ext-cluster-router``
+== ``repro run ext_cluster_router``). The catalogue here is the single
+source of truth — ``list --markdown`` generates the experiment table
+embedded in ``docs/paper_map.md``, and CI fails if they drift.
 """
 
 from __future__ import annotations
@@ -13,42 +20,168 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-#: Experiment name -> (module, one-line description, heavy?).
-EXPERIMENTS: Dict[str, tuple] = {
-    "fig02": ("fig02_prefill_kernel_overhead", "paged prefill kernel overhead", False),
-    "fig03": ("fig03_block_size_sensitivity", "vLLM kernel vs block size", False),
-    "fig04": ("fig04_alloc_bandwidth_demand", "decode throughput & alloc demand", False),
-    "tab03": ("tab03_vmm_latency", "VMM API latencies", False),
-    "fig07": ("fig07_prefill_throughput", "prefill throughput, 4 back-ends", False),
-    "tab06": ("tab06_prefill_times", "prefill completion/attention times", False),
-    "fig08": ("fig08_decode_throughput", "decode throughput (engine)", True),
-    "tab07": ("tab07_decode_kernel_latency", "decode kernel latencies", False),
-    "fig09": ("fig09_offline_throughput", "offline end-to-end throughput", True),
-    "fig10": ("fig10_online_latency", "online latency CDFs", True),
-    "fig11": ("fig11_fa3_portability", "FA3 portability on H100", True),
-    "fig12": ("fig12_overlap_ablation", "overlapped allocation ablation", False),
-    "fig13": ("fig13_deferred_reclamation", "deferred reclamation ablation", False),
-    "fig14": ("fig14_page_size_effect", "page size vs kernel runtime", False),
-    "fig15": ("fig15_max_batch_size", "max batch vs page-group size", True),
-    "tab08": ("tab08_block_sizes", "block sizes per page-group & TP", False),
-    "tab09": ("tab09_alloc_bandwidth", "allocation bandwidth", False),
-    "tab10": ("tab10_tensor_slicing", "tensor-slicing block sizes", False),
-    "ext-sharing": ("ext_prefix_sharing", "extension: prefix KV dedup", False),
-    "ext-prefix-cache": (
+#: Markers bounding the generated table inside docs/paper_map.md.
+GENERATED_BEGIN = "<!-- BEGIN GENERATED: python -m repro list --markdown -->"
+GENERATED_END = "<!-- END GENERATED -->"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One catalogue entry: how to run it and where it came from."""
+
+    #: Module under :mod:`repro.experiments` exposing ``main()``.
+    module: str
+    #: One-line description (shown by ``repro list``).
+    description: str
+    #: Paper artifact reproduced (figure/table/section), or the
+    #: extension's anchor in the paper.
+    paper: str
+    #: Benchmark script exercising the same driver, or ``None``.
+    bench: Optional[str]
+    #: Takes minutes rather than seconds.
+    heavy: bool = False
+
+    def aliases(self, name: str) -> str:
+        """Both accepted spellings of ``name``, ``|``-separated."""
+        underscore = name.replace("-", "_")
+        return name if underscore == name else f"{name} | {underscore}"
+
+
+#: Experiment catalogue, keyed by dashed name.
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig02": Experiment(
+        "fig02_prefill_kernel_overhead",
+        "paged prefill kernel overhead",
+        "Figure 2", "benchmarks/bench_fig02.py",
+    ),
+    "fig03": Experiment(
+        "fig03_block_size_sensitivity",
+        "vLLM kernel vs block size",
+        "Figure 3", "benchmarks/bench_fig03.py",
+    ),
+    "fig04": Experiment(
+        "fig04_alloc_bandwidth_demand",
+        "decode throughput & alloc demand",
+        "Figure 4", "benchmarks/bench_fig04.py",
+    ),
+    "tab03": Experiment(
+        "tab03_vmm_latency",
+        "VMM API latencies",
+        "Table 3", "benchmarks/bench_tab03.py",
+    ),
+    "fig07": Experiment(
+        "fig07_prefill_throughput",
+        "prefill throughput, 4 back-ends",
+        "Figure 7", "benchmarks/bench_fig07.py",
+    ),
+    "tab06": Experiment(
+        "tab06_prefill_times",
+        "prefill completion/attention times",
+        "Table 6", "benchmarks/bench_tab06.py",
+    ),
+    "fig08": Experiment(
+        "fig08_decode_throughput",
+        "decode throughput (engine)",
+        "Figure 8", "benchmarks/bench_fig08.py", heavy=True,
+    ),
+    "tab07": Experiment(
+        "tab07_decode_kernel_latency",
+        "decode kernel latencies",
+        "Table 7", "benchmarks/bench_tab07.py",
+    ),
+    "fig09": Experiment(
+        "fig09_offline_throughput",
+        "offline end-to-end throughput",
+        "Figure 9", "benchmarks/bench_fig09.py", heavy=True,
+    ),
+    "fig10": Experiment(
+        "fig10_online_latency",
+        "online latency CDFs",
+        "Figure 10", "benchmarks/bench_fig10.py", heavy=True,
+    ),
+    "fig11": Experiment(
+        "fig11_fa3_portability",
+        "FA3 portability on H100",
+        "Figure 11", "benchmarks/bench_fig11.py", heavy=True,
+    ),
+    "fig12": Experiment(
+        "fig12_overlap_ablation",
+        "overlapped allocation ablation",
+        "Figure 12", "benchmarks/bench_fig12.py",
+    ),
+    "fig13": Experiment(
+        "fig13_deferred_reclamation",
+        "deferred reclamation ablation",
+        "Figure 13", "benchmarks/bench_fig13.py",
+    ),
+    "fig14": Experiment(
+        "fig14_page_size_effect",
+        "page size vs kernel runtime",
+        "Figure 14", "benchmarks/bench_fig14.py",
+    ),
+    "fig15": Experiment(
+        "fig15_max_batch_size",
+        "max batch vs page-group size",
+        "Figure 15", "benchmarks/bench_fig15.py", heavy=True,
+    ),
+    "tab08": Experiment(
+        "tab08_block_sizes",
+        "block sizes per page-group & TP",
+        "Table 8", "benchmarks/bench_tab08.py",
+    ),
+    "tab09": Experiment(
+        "tab09_alloc_bandwidth",
+        "allocation bandwidth",
+        "Table 9", "benchmarks/bench_tab09.py",
+    ),
+    "tab10": Experiment(
+        "tab10_tensor_slicing",
+        "tensor-slicing block sizes",
+        "Table 10", "benchmarks/bench_tab10.py",
+    ),
+    "ext-sharing": Experiment(
+        "ext_prefix_sharing",
+        "extension: prefix KV dedup",
+        "S8.1", "benchmarks/bench_ext_sharing.py",
+    ),
+    "ext-prefix-cache": Experiment(
         "ext_prefix_cache",
         "extension: radix-tree prefix cache",
-        False,
+        "S8.1, productionized", "benchmarks/bench_ext_prefix_cache.py",
     ),
-    "ext-cluster-router": (
+    "ext-cluster-router": Experiment(
         "ext_cluster_router",
         "extension: cluster router + disaggregated prefill/decode",
-        True,
+        "beyond the paper", "benchmarks/bench_ext_cluster.py", heavy=True,
     ),
-    "ext-swap": ("ext_swap_policy", "extension: swap vs recompute", False),
-    "ext-uvm": ("ext_uvm_limitations", "extension: unified-memory strawman", True),
-    "ext-chunked": ("ext_chunked_prefill", "extension: chunked prefill stalls", False),
+    "ext-sched-policy": Experiment(
+        "ext_sched_policy",
+        "extension: scheduler policies (FCFS/SLA/hybrid)",
+        "S7.4 regime", "benchmarks/bench_ext_sched.py",
+    ),
+    "ext-swap": Experiment(
+        "ext_swap_policy",
+        "extension: swap vs recompute",
+        "S5.3.3", "benchmarks/bench_ext_swap.py",
+    ),
+    "ext-uvm": Experiment(
+        "ext_uvm_limitations",
+        "extension: unified-memory strawman",
+        "S8.1", "benchmarks/bench_ext_uvm.py", heavy=True,
+    ),
+    "ext-chunked": Experiment(
+        "ext_chunked_prefill",
+        "extension: hybrid-batch chunked prefill",
+        "reference [36]", "benchmarks/bench_ext_chunked.py",
+    ),
+    "ext-large-models": Experiment(
+        "ext_large_models",
+        "extension: page sizes at 70B-175B scale",
+        "S7.6.3", None,
+    ),
 }
 
 
@@ -60,11 +193,70 @@ def list_experiments() -> None:
     (``repro run ext-cluster-router`` == ``repro run ext_cluster_router``).
     """
     print("available experiments (python -m repro run <name> ...):\n")
-    for name, (_, description, heavy) in EXPERIMENTS.items():
-        marker = " [long-running]" if heavy else ""
-        alias = name.replace("-", "_")
-        aliases = name if alias == name else f"{name} | {alias}"
-        print(f"  {aliases:<42} {description}{marker}")
+    for name, experiment in EXPERIMENTS.items():
+        marker = " [long-running]" if experiment.heavy else ""
+        print(
+            f"  {experiment.aliases(name):<42} "
+            f"{experiment.description}{marker}"
+        )
+
+
+def catalogue_markdown() -> str:
+    """The experiment catalogue as a markdown table.
+
+    This is the generated block of ``docs/paper_map.md`` — regenerate
+    with ``python -m repro list --markdown`` whenever the catalogue
+    changes (CI diffs the two).
+    """
+    lines = [
+        "| Experiment | CLI aliases | Paper artifact | "
+        "What it measures | Benchmark |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for name, experiment in EXPERIMENTS.items():
+        aliases = "`" + experiment.aliases(name).replace(" | ", "` `") + "`"
+        bench = f"`{experiment.bench}`" if experiment.bench else "—"
+        marker = " *(long-running)*" if experiment.heavy else ""
+        lines.append(
+            f"| `{experiment.module}` | {aliases} | {experiment.paper} "
+            f"| {experiment.description}{marker} | {bench} |"
+        )
+    return "\n".join(lines)
+
+
+def check_paper_map(path: str) -> int:
+    """Verify the generated block of ``path`` matches the catalogue.
+
+    Returns a process exit code: 0 fresh, 1 stale/missing markers.
+    """
+    try:
+        with open(path) as handle:
+            content = handle.read()
+    except OSError as error:
+        print(f"cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    begin = content.find(GENERATED_BEGIN)
+    end = content.find(GENERATED_END)
+    if begin < 0 or end < 0 or end < begin:
+        print(
+            f"{path}: missing generated-table markers "
+            f"({GENERATED_BEGIN!r} ... {GENERATED_END!r})",
+            file=sys.stderr,
+        )
+        return 1
+    embedded = content[begin + len(GENERATED_BEGIN):end].strip()
+    expected = catalogue_markdown()
+    if embedded != expected:
+        print(
+            f"{path} is stale: regenerate its table with\n"
+            f"  python -m repro list --markdown\n"
+            f"and paste the output between the markers.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{path}: experiment table is up to date "
+          f"({len(EXPERIMENTS)} experiments)")
+    return 0
 
 
 def run_experiments(names: List[str]) -> int:
@@ -80,9 +272,11 @@ def run_experiments(names: List[str]) -> int:
         print("use 'python -m repro list' to see the catalogue", file=sys.stderr)
         return 2
     for name in selected:
-        module_name, _, _ = EXPERIMENTS[name]
-        module = importlib.import_module(f"repro.experiments.{module_name}")
-        print(f"\n=== {name} ({module_name}) " + "=" * 30)
+        experiment = EXPERIMENTS[name]
+        module = importlib.import_module(
+            f"repro.experiments.{experiment.module}"
+        )
+        print(f"\n=== {name} ({experiment.module}) " + "=" * 30)
         module.main()
     return 0
 
@@ -94,11 +288,30 @@ def main(argv: List[str] | None = None) -> int:
         description="Reproduce the vAttention (ASPLOS 2025) evaluation.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("list", help="list available experiments")
+    lister = subparsers.add_parser(
+        "list", help="list available experiments"
+    )
+    lister.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the docs/paper_map.md experiment table",
+    )
+    lister.add_argument(
+        "--check",
+        metavar="PATH",
+        help="with --markdown: verify PATH's generated table is current",
+    )
     runner = subparsers.add_parser("run", help="run experiments by name")
     runner.add_argument("names", nargs="+", help="experiment names or 'all'")
     args = parser.parse_args(argv)
     if args.command == "list":
+        if args.check:
+            if not args.markdown:
+                parser.error("--check requires --markdown")
+            return check_paper_map(args.check)
+        if args.markdown:
+            print(catalogue_markdown())
+            return 0
         list_experiments()
         return 0
     return run_experiments(args.names)

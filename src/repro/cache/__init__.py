@@ -14,6 +14,12 @@ RadixAttention:
   and :class:`~repro.serving.memory.VAttentionMemory`, aliasing an
   arriving request's longest cached prefix automatically and retaining
   finished requests' prefixes instead of freeing them.
+
+The cache also feeds the layers around it through the side-effect-free
+``probe_prefix_tokens``: the cluster router ranks replicas by it
+(:mod:`repro.cluster.router`), and scheduling policies budget prefill
+chunks with post-cache prompt lengths (:mod:`repro.scheduling`) — a
+cache-hit prefill costs only its uncached suffix.
 """
 
 from .radix import PrefixEntry, RadixTree, RadixTreeStats

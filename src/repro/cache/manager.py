@@ -172,11 +172,14 @@ class PrefixCacheManager(MemoryBackend):
 
     def probe_prefix_tokens(self, token_ids, limit=None) -> int:
         """Reusable-prefix tokens a prompt would hit right now (no side
-        effects — the cluster router calls this on every replica per
-        routing decision). ``limit`` should be the same
+        effects). Two callers depend on that purity: the cluster
+        router probes every replica per routing decision, and the
+        scheduling layer budgets chunk sizes with post-cache prompt
+        lengths (:meth:`repro.scheduling.base.SchedulingView.
+        remaining_prefill_tokens`). ``limit`` should be the same
         ``prompt_len - 1`` cap :meth:`before_prefill` applies, and the
         result is clamped to what the source slot physically backs, so
-        the router's estimate matches what an actual hit would deliver.
+        the estimate matches what an actual hit would deliver.
         """
         entry, matched = self.tree.probe(token_ids, limit=limit)
         if entry is None:

@@ -1,5 +1,27 @@
-"""Cluster serving: multi-replica router, cache-aware scheduling and
-disaggregated prefill/decode above the single-engine serving layer."""
+"""Cluster serving: a replica fleet above the single-engine layer.
+
+The subsystem (see ``docs/architecture.md`` for its place in the
+stack) has four parts:
+
+* :mod:`repro.cluster.engine` — :class:`ClusterEngine` advances N
+  independent :class:`~repro.serving.engine.LLMEngine` replicas on one
+  shared virtual timeline (conservative discrete-event order) and, in
+  disaggregated mode, hands finished prompts' KV from the prefill tier
+  to the decode tier. Per-replica batch construction follows a
+  :mod:`scheduling policy <repro.scheduling>`
+  (``ClusterConfig.scheduler_policy`` / ``prefill_scheduler_policy``).
+* :mod:`repro.cluster.router` — pluggable arrival routing:
+  ``round_robin``, ``least_outstanding_tokens``, and ``cache_aware``
+  (longest radix-tree prefix match under a load-imbalance cap).
+* :mod:`repro.cluster.interconnect` — the NVLink/PCIe link KV
+  migrations serialize over, charged per byte plus setup latency.
+* :mod:`repro.cluster.report` — :class:`ClusterReport` stitches
+  logical requests back together across tiers (TTFT/e2e percentiles,
+  fleet throughput, per-replica balance, migration accounting).
+
+The measurement lives in the ``ext-cluster-router`` experiment and
+``benchmarks/bench_ext_cluster.py``.
+"""
 
 from .engine import ClusterConfig, ClusterEngine, Replica
 from .interconnect import (

@@ -6,7 +6,12 @@ engine.LLMEngine` replicas — each with its own device, memory backend
 shared virtual timeline. Requests are dispatched by a pluggable
 :mod:`routing policy <repro.cluster.router>` at their arrival instants,
 when every replica's queue depth and cache content is exactly what the
-router would observe in a live deployment.
+router would observe in a live deployment. Inside each replica, batch
+construction follows an engine-level :mod:`scheduling policy
+<repro.scheduling>` (``ClusterConfig.scheduler_policy``); disaggregated
+fleets can give the prefill tier its own policy
+(``prefill_scheduler_policy``) — e.g. hybrid batching where prompts
+stream in, FCFS where decodes dominate.
 
 Time coordination is conservative parallel discrete-event simulation:
 replicas that can *produce* events (arrival targets, whose prefill
@@ -31,10 +36,11 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Sequence
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
+from ..scheduling import validate_scheduler_policy
 from ..serving.engine import EngineConfig, LLMEngine
 from ..serving.request import Request
 from .interconnect import INTERCONNECTS, MigrationLink, get_interconnect
@@ -58,6 +64,16 @@ class ClusterConfig:
     n_prefill_replicas: int = 1
     #: Link carrying KV migrations: "nvlink" or "pcie".
     interconnect: str = "nvlink"
+    #: Scheduler policy every replica engine runs
+    #: (:mod:`repro.scheduling` registry name); ``None`` keeps the
+    #: template ``engine.scheduler_policy``.
+    scheduler_policy: Optional[str] = None
+    #: Disaggregated mode: policy override for the *prefill tier* only —
+    #: the tier where batch composition matters most (prompts stream in
+    #: continuously, so e.g. "hybrid" keeps its iterations bounded
+    #: while the decode tier stays FCFS). ``None`` = same policy as the
+    #: rest of the fleet.
+    prefill_scheduler_policy: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -87,6 +103,15 @@ class ClusterConfig:
                     f"n_prefill_replicas must be in [1, {self.n_replicas - 1}]"
                     f", got {self.n_prefill_replicas}"
                 )
+        for policy in (self.scheduler_policy, self.prefill_scheduler_policy):
+            if policy is not None:
+                validate_scheduler_policy(policy)
+        if self.prefill_scheduler_policy is not None and not self.disaggregated:
+            raise ConfigError(
+                "prefill_scheduler_policy only applies to disaggregated "
+                "fleets (there is no prefill tier otherwise); use "
+                "scheduler_policy for a homogeneous fleet"
+            )
         if (
             self.routing_policy == "cache_aware"
             and not self.engine.enable_prefix_cache
@@ -139,6 +164,11 @@ class ClusterEngine:
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.replicas: List[Replica] = []
+        fleet_config = config.engine
+        if config.scheduler_policy is not None:
+            fleet_config = replace(
+                fleet_config, scheduler_policy=config.scheduler_policy
+            )
         for index in range(config.n_replicas):
             role = "serve"
             if config.disaggregated:
@@ -147,8 +177,14 @@ class ClusterEngine:
                     if index < config.n_prefill_replicas
                     else "decode"
                 )
+            engine_config = fleet_config
+            if role == "prefill" and config.prefill_scheduler_policy:
+                engine_config = replace(
+                    fleet_config,
+                    scheduler_policy=config.prefill_scheduler_policy,
+                )
             self.replicas.append(
-                Replica(index, LLMEngine(config.engine), role)
+                Replica(index, LLMEngine(engine_config), role)
             )
         #: Replicas arrivals are routed to (all of them, or the prefill
         #: tier in disaggregated mode). These are the event *sources*:

@@ -121,18 +121,23 @@ class ClusterReport:
         return [r.e2e_latency for r in self.finished_records]
 
     def mean_ttft(self) -> float:
+        """Mean time to first token across logical requests."""
         return mean(self.ttfts())
 
     def median_ttft(self) -> float:
+        """Median time to first token across logical requests."""
         return percentile(self.ttfts(), 50.0)
 
     def p99_ttft(self) -> float:
+        """Tail time to first token across logical requests."""
         return percentile(self.ttfts(), 99.0)
 
     def median_latency(self) -> float:
+        """Median end-to-end latency (migration delay included)."""
         return percentile(self.e2e_latencies(), 50.0)
 
     def p99_latency(self) -> float:
+        """Tail end-to-end latency (migration delay included)."""
         return percentile(self.e2e_latencies(), 99.0)
 
     # ------------------------------------------------------------------

@@ -1,17 +1,21 @@
-"""Extension: Sarathi-style chunked prefill (paper reference [36]).
+"""Extension: hybrid-batch chunked prefill (paper reference [36]).
 
 The paper's serving framework (vLLM v0.2.7) runs monolithic prefills: a
 long prompt occupies the GPU for seconds while every running decode
 stalls. Chunked prefill (Agrawal et al., the paper's reference [36])
-splits the prompt into chunks piggybacked onto decode iterations.
+splits the prompt into bounded chunks piggybacked onto decode
+iterations. Since scheduling became a subsystem this lives in the
+engine's main loop as :class:`~repro.scheduling.hybrid.
+HybridBatchPolicy` (``scheduler_policy="hybrid"``) — this experiment
+used to drive an ad-hoc fixed-chunk knob instead.
 
-This experiment serves a batch of decoding requests, injects a long
-prompt mid-stream, and measures the worst decode stall (the longest
-interval in which decoding requests make no progress) with and without
-chunking. vAttention is orthogonal to the scheduling policy — its
-``step()`` API backs whatever tokens the scheduler processes — which
-this experiment also demonstrates: both modes run on the same memory
-manager unchanged.
+The measurement serves a batch of decoding requests, injects a 64K
+prompt mid-stream, and compares the worst decode stall (the longest
+interval in which decoding requests make no progress) under monolithic
+FCFS against hybrid batching at two token budgets. vAttention is
+orthogonal to the scheduling policy — its ``step()`` API backs whatever
+tokens the scheduler processes — which this experiment also
+demonstrates: every mode runs on the same memory manager unchanged.
 """
 
 from __future__ import annotations
@@ -27,14 +31,17 @@ from ..workloads.traces import fixed_trace
 
 DECODE_BATCH = 8
 LONG_PROMPT = 65_536
-CHUNK_SIZES = (None, 8_192, 2_048)
+#: None = monolithic FCFS; otherwise the hybrid policy's per-iteration
+#: token budget.
+TOKEN_BUDGETS = (None, 8_192, 2_048)
 
 
 @dataclass(frozen=True)
 class ChunkRow:
-    """Latency effects of one chunking setting."""
+    """Latency effects of one scheduling setting."""
 
-    chunk_size: Optional[int]
+    #: Hybrid token budget (``None`` = monolithic FCFS control).
+    token_budget: Optional[int]
     #: Longest window during which decoding requests made no progress.
     worst_decode_stall: float
     #: Time to first token of the long request.
@@ -43,16 +50,17 @@ class ChunkRow:
 
 
 def run_one(
-    chunk_size: Optional[int], gpu: GpuSpec = A100
+    token_budget: Optional[int], gpu: GpuSpec = A100
 ) -> ChunkRow:
-    """Measure one chunking configuration."""
+    """Measure one scheduling configuration."""
     engine = LLMEngine(
         EngineConfig(
             shard=ShardedModel(YI_6B, 1),
             gpu=gpu,
             memory_backend="vattention",
             max_batch_size=DECODE_BATCH + 1,
-            prefill_chunk_size=chunk_size,
+            scheduler_policy="fcfs" if token_budget is None else "hybrid",
+            sched_token_budget=token_budget or 1,
         )
     )
     # A steady decode batch...
@@ -80,7 +88,7 @@ def run_one(
         stall = max(stall, b - a)
     long_request = next(r for r in report.requests if "long" in r.request_id)
     return ChunkRow(
-        chunk_size=chunk_size,
+        token_budget=token_budget,
         worst_decode_stall=stall,
         long_request_ttft=long_request.ttft,
         makespan=report.makespan,
@@ -88,18 +96,23 @@ def run_one(
 
 
 def run(
-    chunk_sizes: Sequence[Optional[int]] = CHUNK_SIZES, gpu: GpuSpec = A100
+    token_budgets: Sequence[Optional[int]] = TOKEN_BUDGETS,
+    gpu: GpuSpec = A100,
 ) -> List[ChunkRow]:
-    """All chunking configurations."""
-    return [run_one(size, gpu=gpu) for size in chunk_sizes]
+    """All scheduling configurations."""
+    return [run_one(budget, gpu=gpu) for budget in token_budgets]
 
 
 def main() -> None:
     """Print the comparison."""
-    print(f"Chunked prefill: {DECODE_BATCH} decoding requests + one "
-          f"{LONG_PROMPT}-token prompt (Yi-6B)")
+    print(f"Hybrid-batch chunked prefill: {DECODE_BATCH} decoding requests "
+          f"+ one {LONG_PROMPT}-token prompt (Yi-6B)")
     for row in run():
-        name = "monolithic" if row.chunk_size is None else f"chunk={row.chunk_size}"
+        name = (
+            "monolithic"
+            if row.token_budget is None
+            else f"budget={row.token_budget}"
+        )
         print(
             f"  {name:>12}: worst decode stall {row.worst_decode_stall:6.3f}s, "
             f"long-request TTFT {row.long_request_ttft:6.2f}s, "

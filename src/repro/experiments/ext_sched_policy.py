@@ -1,0 +1,196 @@
+"""Extension: scheduler-policy sweep under bursty interactive load.
+
+The paper's online evaluation (S7.4, Fig. 10) serves FCFS; PR 3 made
+scheduling a subsystem (:mod:`repro.scheduling`), and this experiment
+measures what the alternative policies buy on the regime the paper's
+latency figures care about — bursty arrivals mixing short interactive
+"chat" prompts (with tight TTFT budgets) and long "doc" prompts whose
+monolithic prefills are exactly the stall source Fig. 10's chunked
+serving avoids.
+
+One Yi-6B engine serves the same Markov-modulated (bursty) trace under
+each policy:
+
+* ``fcfs`` — the paper's baseline: arrival order, monolithic prefills.
+* ``sla`` — earliest-TTFT-deadline-first: chat requests carry a 1.5 s
+  budget, docs none, so the interactive class overtakes doc prefills
+  at admission and prefill selection.
+* ``hybrid`` (three token budgets) — Sarathi-style mixed batches:
+  decodes never stall behind a doc prefill, and the cheapest pending
+  prompt (net of the prefix cache) chunks first.
+
+The acceptance bar asserted by ``benchmarks/bench_ext_sched.py``: the
+hybrid policy improves p99 TTFT over FCFS at equal-or-better
+throughput on this trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..gpu.spec import A100, GpuSpec
+from ..metrics.collector import RunReport
+from ..metrics.stats import percentile
+from ..models.shard import ShardedModel
+from ..models.zoo import YI_6B
+from ..serving.engine import EngineConfig, LLMEngine
+from ..serving.request import Request
+from ..workloads.arrival import bursty_arrivals
+
+REQUESTS = 48
+QPS = 1.5
+MAX_BATCH = 16
+#: Every DOC_EVERY-th request is a long document prompt.
+DOC_EVERY = 8
+DOC_PROMPT = (24_000, 40_000)
+DOC_DECODE = (16, 32)
+CHAT_PROMPT = (512, 2_048)
+CHAT_DECODE = (32, 128)
+#: First-token budget carried by chat requests (docs carry none).
+CHAT_TTFT_BUDGET = 1.5
+TRACE_SEED = 2711
+ARRIVAL_SEED = 2712
+#: (policy, hybrid token budget) cells of the sweep.
+POLICY_CELLS: Tuple[Tuple[str, Optional[int]], ...] = (
+    ("fcfs", None),
+    ("sla", None),
+    ("hybrid", 1_024),
+    ("hybrid", 2_048),
+    ("hybrid", 4_096),
+)
+
+
+@dataclass(frozen=True)
+class SchedRow:
+    """One policy cell of the sweep."""
+
+    policy: str
+    #: Hybrid per-iteration token budget (``None`` for other policies).
+    token_budget: Optional[int]
+    requests_per_minute: float
+    mean_ttft: float
+    p99_ttft: float
+    #: TTFT tail of the interactive (budgeted) class only.
+    chat_p99_ttft: float
+    #: TTFT tail of the long-document class only.
+    doc_p99_ttft: float
+    median_e2e: float
+    makespan: float
+
+
+def sched_trace(
+    count: int = REQUESTS,
+    qps: float = QPS,
+    trace_seed: int = TRACE_SEED,
+    arrival_seed: int = ARRIVAL_SEED,
+) -> List[Request]:
+    """Chat/doc mixture under bursty (on/off MMPP) arrivals."""
+    rng = random.Random(trace_seed)
+    arrivals = bursty_arrivals(qps=qps, count=count, seed=arrival_seed)
+    requests: List[Request] = []
+    for index, arrival in enumerate(arrivals):
+        if index % DOC_EVERY == DOC_EVERY - 1:
+            requests.append(
+                Request(
+                    request_id=f"doc-{index:04d}",
+                    prompt_len=rng.randint(*DOC_PROMPT),
+                    max_new_tokens=rng.randint(*DOC_DECODE),
+                    arrival_time=arrival,
+                )
+            )
+        else:
+            requests.append(
+                Request(
+                    request_id=f"chat-{index:04d}",
+                    prompt_len=rng.randint(*CHAT_PROMPT),
+                    max_new_tokens=rng.randint(*CHAT_DECODE),
+                    arrival_time=arrival,
+                    ttft_budget=CHAT_TTFT_BUDGET,
+                )
+            )
+    return requests
+
+
+def serve(
+    policy: str,
+    token_budget: Optional[int] = None,
+    gpu: GpuSpec = A100,
+    count: int = REQUESTS,
+    qps: float = QPS,
+) -> RunReport:
+    """One cell: build the engine, serve the trace."""
+    engine = LLMEngine(
+        EngineConfig(
+            shard=ShardedModel(YI_6B, 1),
+            gpu=gpu,
+            memory_backend="vattention",
+            max_batch_size=MAX_BATCH,
+            scheduler_policy=policy,
+            sched_token_budget=token_budget or 2_048,
+        )
+    )
+    engine.submit(sched_trace(count=count, qps=qps))
+    return engine.run()
+
+
+def _class_p99_ttft(report: RunReport, prefix: str) -> float:
+    ttfts = [
+        r.ttft
+        for r in report.finished_requests
+        if r.request_id.startswith(prefix)
+    ]
+    return percentile(ttfts, 99.0)
+
+
+def run(
+    cells: Sequence[Tuple[str, Optional[int]]] = POLICY_CELLS,
+    gpu: GpuSpec = A100,
+    count: int = REQUESTS,
+    qps: float = QPS,
+) -> List[SchedRow]:
+    """The policy sweep."""
+    rows: List[SchedRow] = []
+    for policy, token_budget in cells:
+        report = serve(
+            policy, token_budget=token_budget, gpu=gpu, count=count, qps=qps
+        )
+        rows.append(
+            SchedRow(
+                policy=policy,
+                token_budget=token_budget,
+                requests_per_minute=report.requests_per_minute(),
+                mean_ttft=report.mean_ttft(),
+                p99_ttft=report.p99_ttft(),
+                chat_p99_ttft=_class_p99_ttft(report, "chat"),
+                doc_p99_ttft=_class_p99_ttft(report, "doc"),
+                median_e2e=report.median_latency(),
+                makespan=report.makespan,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the sweep."""
+    docs = REQUESTS // DOC_EVERY
+    print(
+        f"Scheduler policies: {REQUESTS - docs} chat + {docs} doc requests "
+        f"(Yi-6B, batch {MAX_BATCH}, bursty arrivals ~{QPS} QPS, "
+        f"chat TTFT budget {CHAT_TTFT_BUDGET}s)"
+    )
+    for row in run():
+        name = row.policy
+        if row.token_budget is not None:
+            name = f"{row.policy}@{row.token_budget}"
+        print(
+            f"  {name:>12}: TTFT p99 {row.p99_ttft:7.3f}s "
+            f"(chat {row.chat_p99_ttft:7.3f} / doc {row.doc_p99_ttft:7.3f}) "
+            f"mean {row.mean_ttft:6.3f}s | e2e median {row.median_e2e:6.2f}s "
+            f"| {row.requests_per_minute:6.1f} req/min"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,9 @@
-"""Serving framework: requests, memory backends, scheduler, engine."""
+"""Serving framework: requests, memory backends, engine.
+
+Scheduling policies live in :mod:`repro.scheduling`; the engine selects
+one via ``EngineConfig.scheduler_policy``. ``FcfsScheduler`` and
+``peak_batch_size`` are re-exported here for compatibility.
+"""
 
 from .engine import (
     DEFAULT_WORKSPACE_BYTES,

@@ -1,10 +1,16 @@
 """Continuous-batching LLM serving engine (paper Algorithm 1).
 
 The engine mirrors vLLM v0.2.7's iteration-level scheduler, which the
-paper uses as the common serving framework for every configuration:
+paper uses as the common serving framework for every configuration.
+Scheduling decisions — admission order, iteration shape, preemption
+victim — are delegated to a pluggable :class:`~repro.scheduling.base.
+SchedulerPolicy` (``EngineConfig.scheduler_policy``); under the default
+FCFS policy the loop is byte-identical to the paper's setup:
 
 * FCFS admission whenever the memory backend can hold the new prompt,
-* a *prefill* iteration processes one admitted prompt in full,
+* a *prefill* iteration processes one admitted prompt in full (a
+  *mixed* iteration runs a bounded prefill chunk plus every running
+  decode under the chunking policies),
 * a *decode* iteration advances every running request by one token,
 * on memory exhaustion, the most recently admitted request is preempted
   and recomputed later (vLLM's default policy, paper S5.3.3).
@@ -37,6 +43,14 @@ from ..kernels.costmodel import (
 from ..kernels.registry import get_kernel
 from ..metrics.collector import IterationRecord, MetricsCollector, RunReport
 from ..models.shard import ShardedModel
+from ..scheduling import (
+    DEFAULT_TOKEN_BUDGET,
+    PlanKind,
+    SchedulerPolicy,
+    SchedulingView,
+    make_scheduler_policy,
+    validate_scheduler_policy,
+)
 from ..units import GB, MB, us
 from .memory import (
     MemoryBackend,
@@ -97,7 +111,20 @@ class EngineConfig:
     #: in chunks of this many tokens, piggybacked onto decode
     #: iterations so ongoing decodes never stall behind a long prompt.
     #: None = monolithic prefill (the paper's evaluation setting).
+    #: Under the "hybrid" policy this acts as an *additional* cap on
+    #: the budget-derived chunk.
     prefill_chunk_size: Optional[int] = None
+    #: Scheduling policy driving admission order, iteration shape and
+    #: preemption victims ("fcfs" | "sla" | "hybrid", see
+    #: :mod:`repro.scheduling`). The default is byte-identical to the
+    #: pre-subsystem inline FCFS loop.
+    scheduler_policy: str = "fcfs"
+    #: "hybrid" policy: token budget of one mixed iteration (decode
+    #: tokens + the prefill chunk).
+    sched_token_budget: int = DEFAULT_TOKEN_BUDGET
+    #: "sla" policy: TTFT budget assumed for requests without their own
+    #: (None = such requests have no deadline).
+    sla_ttft_budget: Optional[float] = None
     #: Pinned host memory available for swapped KV caches (swap mode).
     swap_host_bytes: int = 64 * GB
     #: Automatic KV prefix reuse via the radix-tree cache (S8.1 turned
@@ -128,6 +155,9 @@ class EngineConfig:
             raise ConfigError("prefill_chunk_size must be positive")
         if self.max_batch_size <= 0:
             raise ConfigError("max_batch_size must be positive")
+        validate_scheduler_policy(self.scheduler_policy)
+        if self.sched_token_budget <= 0:
+            raise ConfigError("sched_token_budget must be positive")
         if self.enable_prefix_cache:
             if self.memory_backend != "vattention":
                 raise ConfigError(
@@ -186,6 +216,11 @@ class LLMEngine:
             else None
         )
 
+        self.scheduler: SchedulerPolicy = make_scheduler_policy(
+            config.scheduler_policy,
+            token_budget=config.sched_token_budget,
+            default_ttft_budget=config.sla_ttft_budget,
+        )
         self.metrics = MetricsCollector()
         self._pending: Deque[Request] = deque()  # future arrivals
         self._waiting: Deque[Request] = deque()  # arrived, not admitted
@@ -324,12 +359,14 @@ class LLMEngine:
         return iterations
 
     def _run_iteration(self) -> None:
-        """Execute one scheduling iteration over the running batch."""
-        prefill = next((r for r in self._running if r.needs_prefill), None)
-        if prefill is not None and self.config.prefill_chunk_size:
-            self._run_mixed(prefill)
-        elif prefill is not None:
-            self._run_prefill(prefill)
+        """Execute the iteration the scheduling policy planned."""
+        plan = self.scheduler.plan_iteration(
+            self._running, self._scheduling_view()
+        )
+        if plan.kind is PlanKind.MIXED:
+            self._run_mixed(plan.prefill, plan.chunk_tokens)
+        elif plan.kind is PlanKind.PREFILL:
+            self._run_prefill(plan.prefill)
         else:
             self._run_decode()
 
@@ -372,13 +409,50 @@ class LLMEngine:
         while self._pending and self._pending[0].arrival_time <= self.clock.now:
             self._waiting.append(self._pending.popleft())
 
+    # ------------------------------------------------------------------
+    # Scheduling-policy plumbing
+    # ------------------------------------------------------------------
+    def _scheduling_view(self) -> SchedulingView:
+        """The observable state a policy decision may depend on."""
+        return SchedulingView(
+            now=self.clock.now,
+            max_batch_size=self.config.max_batch_size,
+            prefill_chunk_size=self.config.prefill_chunk_size,
+            cached_prefix_tokens=self._probe_cached_prefix,
+        )
+
+    def _probe_cached_prefix(self, request: Request) -> int:
+        """Prompt tokens the prefix cache would alias, side-effect-free.
+
+        Mirrors the cap an actual hit has (at least one prompt token
+        always computes); 0 for cache-less backends, prefix-less
+        requests, or prefills already underway.
+        """
+        if request.prefix is None or request.prefilled_tokens:
+            return 0
+        probe = getattr(self.memory, "probe_prefix_tokens", None)
+        if probe is None:
+            return 0
+        return probe(request.prefix.token_ids, limit=request.prompt_len - 1)
+
+    def _remove_waiting(self, request: Request) -> None:
+        """Drop ``request`` from the waiting queue by identity."""
+        for index, waiting in enumerate(self._waiting):
+            if waiting is request:
+                del self._waiting[index]
+                return
+        raise AssertionError(
+            f"{request.request_id} not in the waiting queue"
+        )  # pragma: no cover - policy returned a foreign request
+
     def _admit(self) -> None:
-        while (
-            self._waiting
-            and len(self._running) < self.config.max_batch_size
-            and self.memory.can_admit(self._waiting[0])
-        ):
-            request = self._waiting.popleft()
+        while self._waiting and len(self._running) < self.config.max_batch_size:
+            request = self.scheduler.next_admission(
+                self._waiting, self._scheduling_view()
+            )
+            if request is None or not self.memory.can_admit(request):
+                break
+            self._remove_waiting(request)
             self.memory.admit(request)
             if request.swapped:
                 # Restore the KV cache from host memory before the
@@ -446,13 +520,16 @@ class LLMEngine:
         )
         self._retire_finished()
 
-    def _run_mixed(self, prefill: Request) -> None:
+    def _run_mixed(self, prefill: Request, chunk_budget: int) -> None:
         """One Sarathi-style iteration: a prefill chunk + all decodes.
 
-        The linear operators fuse (the chunk's tokens saturate the GEMMs
-        the decodes would under-utilize); attention runs per phase. The
-        chunk's attention cost is the exact marginal cost of extending
-        the causal prefill: ``T(prefix + chunk) - T(prefix)``.
+        ``chunk_budget`` is the policy's token allowance for the chunk;
+        it is clamped to the prompt tokens actually left once the
+        prefix cache has aliased its share. The linear operators fuse
+        (the chunk's tokens saturate the GEMMs the decodes would
+        under-utilize); attention runs per phase. The chunk's attention
+        cost is the exact marginal cost of extending the causal
+        prefill: ``T(prefix + chunk) - T(prefix)``.
         """
         shard, gpu = self.config.shard, self.config.gpu
         before = self.clock.now
@@ -469,7 +546,7 @@ class LLMEngine:
             return
         alloc_sync = self.clock.now - before
 
-        chunk = min(self.config.prefill_chunk_size, prefill.next_chunk_tokens)
+        chunk = min(chunk_budget, prefill.next_chunk_tokens)
         prefix = prefill.prefilled_tokens
         # Prefill token accounting is *served* prompt tokens (matching
         # the monolithic path): the first computed chunk also delivers
@@ -576,11 +653,14 @@ class LLMEngine:
         protected: Optional[Request] = None,
     ) -> None:
         """Run the backend's allocation for this iteration's batch;
-        preempt newest requests on failure.
+        preempt policy-chosen victims on failure.
 
         ``participants`` is re-evaluated after each preemption (evicted
         requests leave the batch). ``protected`` (the request a prefill
-        iteration is about to execute) is evicted only as a last resort.
+        iteration is about to execute) is evicted only as a last
+        resort. Victim choice belongs to the scheduling policy (FCFS
+        and hybrid evict the newest admission, vLLM's default; the
+        SLA-aware policy evicts the least urgent deadline).
         """
         while True:
             batch = participants()
@@ -591,10 +671,11 @@ class LLMEngine:
                     "cannot back even a single running request; "
                     "the workload exceeds device memory"
                 )
-            victim_index = len(self._running) - 1  # newest (vLLM default)
-            if self._running[victim_index] is protected:
-                victim_index -= 1
-            victim = self._running.pop(victim_index)
+            victim = self.scheduler.select_victim(self._running, protected)
+            for index in range(len(self._running) - 1, -1, -1):
+                if self._running[index] is victim:
+                    del self._running[index]
+                    break
             self.memory.release(victim)
             self._evict(victim)
             victim.state = RequestState.QUEUED

@@ -77,6 +77,12 @@ class Request:
     #: Prompt tokens whose KV was aliased/copied from the prefix cache
     #: instead of computed (set by the cache on a hit).
     cached_prefix_tokens: int = 0
+    #: First-token latency budget in seconds (``arrival_time + budget``
+    #: is the deadline the SLA-aware scheduler orders by); ``None`` =
+    #: no deadline. Ignored by deadline-blind policies.
+    ttft_budget: Optional[float] = None
+    #: Tie-break weight among equal deadlines (higher = more urgent).
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0:

@@ -1,96 +1,14 @@
-"""Standalone FCFS scheduler with memory-aware admission.
+"""Compatibility shim: FCFS scheduling moved to :mod:`repro.scheduling`.
 
-The engine embeds this logic inline for speed; this module exposes it as
-a reusable, separately testable component, and adds the capacity probe
-used by the Figure 15 experiment (maximum batch size a memory backend
-sustains under a dynamic trace).
+Scheduling is a first-class subsystem now — policies (FCFS, SLA-aware,
+hybrid-batch), the standalone :class:`~repro.scheduling.fcfs.
+FcfsScheduler` queue component, and the Figure 15 capacity probe all
+live in :mod:`repro.scheduling`. This module keeps the original import
+path working.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Sequence
+from ..scheduling.fcfs import FcfsScheduler, peak_batch_size
 
-from ..errors import SchedulingError
-from .request import Request, RequestState
-
-
-@dataclass
-class FcfsScheduler:
-    """First-come-first-serve admission with a batch-size cap.
-
-    ``can_admit`` is the memory backend's admission predicate; the
-    scheduler never reorders requests (the paper's online evaluation
-    schedules "in first-come-first-serve order", S7.4).
-    """
-
-    max_batch_size: int
-    can_admit: Callable[[Request], bool]
-    waiting: Deque[Request] = field(default_factory=deque)
-    running: List[Request] = field(default_factory=list)
-
-    def enqueue(self, request: Request) -> None:
-        """Add an arrived request to the back of the queue."""
-        if request.state is not RequestState.QUEUED:
-            raise SchedulingError(
-                f"{request.request_id} is {request.state.value}, not queued"
-            )
-        self.waiting.append(request)
-
-    def requeue_front(self, request: Request) -> None:
-        """Put a preempted request at the front (it keeps its position)."""
-        self.waiting.appendleft(request)
-
-    def admit_ready(self) -> List[Request]:
-        """Admit from the queue head while memory and batch slots allow.
-
-        Strict FCFS: admission stops at the first request that does not
-        fit, even if later (smaller) requests would — no reordering.
-        """
-        admitted: List[Request] = []
-        while (
-            self.waiting
-            and len(self.running) < self.max_batch_size
-            and self.can_admit(self.waiting[0])
-        ):
-            request = self.waiting.popleft()
-            request.state = RequestState.RUNNING
-            self.running.append(request)
-            admitted.append(request)
-        return admitted
-
-    def retire(self, request: Request) -> None:
-        """Remove a finished request from the running set."""
-        try:
-            self.running.remove(request)
-        except ValueError:
-            raise SchedulingError(
-                f"{request.request_id} is not running"
-            ) from None
-
-    def preempt_newest(self) -> Optional[Request]:
-        """Evict the most recently admitted request (vLLM's default).
-
-        The victim leaves with recompute-preemption semantics applied
-        (state ``PREEMPTED``, generated tokens folded into the prompt),
-        matching the engine's inline path; requeue it with
-        :meth:`requeue_front` to preserve its FCFS position.
-        """
-        if not self.running:
-            return None
-        victim = self.running.pop()
-        victim.preempt()
-        return victim
-
-    @property
-    def batch_size(self) -> int:
-        """Current running batch size."""
-        return len(self.running)
-
-
-def peak_batch_size(batch_sizes: Sequence[int]) -> int:
-    """Maximum concurrent batch over a run (the Figure 15 metric)."""
-    if not batch_sizes:
-        raise SchedulingError("no batch sizes recorded")
-    return max(batch_sizes)
+__all__ = ["FcfsScheduler", "peak_batch_size"]

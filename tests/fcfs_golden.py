@@ -1,0 +1,200 @@
+"""Golden-report scenarios proving the FCFS policy refactor is inert.
+
+The scheduling subsystem (``repro.scheduling``) replaced the engine's
+inline FCFS decisions with a pluggable policy. The contract of that
+refactor is *byte identity*: with the default ``scheduler_policy="fcfs"``
+an engine run must reproduce the pre-refactor engine's clock arithmetic
+exactly — same iteration sequence, same latencies, same request
+timestamps, down to the float repr.
+
+``tests/golden/fcfs_reports.json`` was captured by running this module
+standalone at the commit *before* the refactor::
+
+    PYTHONPATH=src:tests python tests/fcfs_golden.py
+
+and :mod:`tests.test_sched_policy` re-runs every scenario on the current
+code and compares canonical serializations byte-for-byte. Regenerate the
+golden only for a deliberate, understood behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.gpu.spec import A100
+from repro.metrics.collector import RunReport
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.serving.engine import EngineConfig, LLMEngine
+from repro.workloads.arrival import bursty_arrivals, poisson_arrivals
+from repro.workloads.traces import fixed_trace, shared_prefix_trace
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "fcfs_reports.json"
+)
+
+
+def _base_config(**overrides) -> EngineConfig:
+    defaults = dict(
+        shard=ShardedModel(YI_6B, 1),
+        gpu=A100,
+        memory_backend="vattention",
+        max_batch_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def _monolithic() -> RunReport:
+    """Plain vAttention FCFS serving under Poisson arrivals."""
+    engine = LLMEngine(_base_config())
+    trace = fixed_trace(
+        count=12,
+        prompt_len=3_000,
+        max_new_tokens=40,
+        arrivals=poisson_arrivals(qps=2.0, count=12, seed=71),
+    )
+    engine.submit(trace)
+    return engine.run()
+
+
+def _chunked() -> RunReport:
+    """FCFS with Sarathi-style chunking through the legacy config knob."""
+    engine = LLMEngine(_base_config(prefill_chunk_size=2_048))
+    trace = fixed_trace(
+        count=6,
+        prompt_len=9_000,
+        max_new_tokens=64,
+        arrivals=bursty_arrivals(qps=2.0, count=6, seed=23),
+    )
+    engine.submit(trace)
+    return engine.run()
+
+
+def _paged() -> RunReport:
+    """FCFS on the PagedAttention backend (paged kernels)."""
+    engine = LLMEngine(
+        _base_config(
+            memory_backend="paged",
+            prefill_kernel="fa2_paged",
+            decode_kernel="fa2_paged",
+            block_size=256,
+        )
+    )
+    trace = fixed_trace(
+        count=8,
+        prompt_len=4_000,
+        max_new_tokens=32,
+        arrivals=poisson_arrivals(qps=3.0, count=8, seed=5),
+    )
+    engine.submit(trace)
+    return engine.run()
+
+
+def _prefix_cached() -> RunReport:
+    """FCFS with the radix prefix cache on a shared-prefix trace."""
+    engine = LLMEngine(_base_config(enable_prefix_cache=True))
+    trace = shared_prefix_trace(
+        count=16,
+        sharing_factor=4,
+        prefix_tokens=2_048,
+        seed=913,
+        arrivals=poisson_arrivals(qps=2.5, count=16, seed=41),
+    )
+    engine.submit(trace)
+    return engine.run()
+
+
+def _preempting() -> RunReport:
+    """FCFS under memory pressure: preemptions and re-admissions."""
+    from repro.units import GB
+
+    engine = LLMEngine(
+        _base_config(max_batch_size=6, kv_budget_bytes=1 * GB)
+    )
+    trace = fixed_trace(
+        count=8,
+        prompt_len=8_000,
+        max_new_tokens=800,
+        arrivals=poisson_arrivals(qps=4.0, count=8, seed=19),
+    )
+    engine.submit(trace)
+    return engine.run()
+
+
+#: Scenario name -> zero-argument runner returning a RunReport.
+SCENARIOS = {
+    "monolithic_vattention": _monolithic,
+    "chunked_prefill": _chunked,
+    "paged_backend": _paged,
+    "prefix_cache": _prefix_cached,
+    "memory_pressure": _preempting,
+}
+
+
+def canonicalize(report: RunReport) -> Dict:
+    """Byte-stable serialization of everything timing-derived.
+
+    Floats go through ``repr`` (shortest round-trip form), so two runs
+    match iff every simulated timestamp matches exactly.
+    """
+
+    def num(value):
+        return None if value is None else repr(float(value))
+
+    requests: List[Dict] = []
+    for request in report.requests:
+        requests.append(
+            {
+                "id": request.request_id,
+                "arrival": num(request.arrival_time),
+                "admitted": num(request.admitted_time),
+                "first_token": num(request.first_token_time),
+                "finish": num(request.finish_time),
+                "generated": request.generated,
+                "prompt_len": request.prompt_len,
+                "preemptions": request.preemptions,
+                "cached_prefix_tokens": request.cached_prefix_tokens,
+                "state": request.state.value,
+            }
+        )
+    iterations: List[Dict] = []
+    for record in report.metrics.iterations:
+        iterations.append(
+            {
+                "start": num(record.start_time),
+                "phase": record.phase,
+                "batch": record.batch_size,
+                "latency": num(record.latency),
+                "alloc_sync": num(record.alloc_sync),
+                "tokens": record.tokens,
+            }
+        )
+    return {
+        "start": num(report.start_time),
+        "end": num(report.end_time),
+        "requests": requests,
+        "iterations": iterations,
+    }
+
+
+def capture() -> Dict[str, Dict]:
+    """Run every scenario and canonicalize its report."""
+    return {name: canonicalize(run()) for name, run in SCENARIOS.items()}
+
+
+def main() -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    payload = capture()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    total = sum(len(s["iterations"]) for s in payload.values())
+    print(f"wrote {GOLDEN_PATH}: {len(payload)} scenarios, "
+          f"{total} iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import (
+    EXPERIMENTS,
+    GENERATED_BEGIN,
+    GENERATED_END,
+    catalogue_markdown,
+    main,
+)
 
 
 class TestList:
@@ -17,13 +23,25 @@ class TestList:
         out = capsys.readouterr().out
         # Both accepted spellings of every dashed name are printed.
         for name in ("ext_cluster_router", "ext-cluster-router",
-                     "ext_prefix_cache", "ext-prefix-cache"):
+                     "ext_prefix_cache", "ext-prefix-cache",
+                     "ext_sched_policy", "ext-sched-policy"):
             assert name in out
 
     def test_cluster_experiment_registered(self):
         assert "ext-cluster-router" in EXPERIMENTS
-        module_name, _, _ = EXPERIMENTS["ext-cluster-router"]
-        assert module_name == "ext_cluster_router"
+        assert EXPERIMENTS["ext-cluster-router"].module == "ext_cluster_router"
+
+    def test_sched_experiment_registered(self):
+        assert EXPERIMENTS["ext-sched-policy"].module == "ext_sched_policy"
+        assert (
+            EXPERIMENTS["ext-sched-policy"].bench
+            == "benchmarks/bench_ext_sched.py"
+        )
+
+    def test_large_models_experiment_registered(self):
+        # Regression: ext_large_models had a main() but no catalogue
+        # entry, so `repro run` could not reach it.
+        assert EXPERIMENTS["ext-large-models"].module == "ext_large_models"
 
     def test_catalogue_covers_every_eval_artifact(self):
         # Every table and figure of the paper's evaluation is runnable.
@@ -33,6 +51,66 @@ class TestList:
             "fig13", "fig14", "fig15", "tab08", "tab09", "tab10",
         }
         assert expected <= set(EXPERIMENTS)
+
+    def test_every_entry_names_module_and_paper_anchor(self):
+        import importlib
+
+        for name, experiment in EXPERIMENTS.items():
+            assert experiment.description
+            assert experiment.paper
+            # The module exists and is runnable (has a main printer).
+            module = importlib.import_module(
+                f"repro.experiments.{experiment.module}"
+            )
+            assert callable(module.main), name
+
+
+class TestMarkdownCatalogue:
+    def test_markdown_lists_every_experiment(self, capsys):
+        assert main(["list", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        for name, experiment in EXPERIMENTS.items():
+            assert f"`{experiment.module}`" in out
+            assert f"`{name}`" in out
+
+    def test_markdown_is_a_table(self):
+        lines = catalogue_markdown().splitlines()
+        assert lines[0].startswith("| Experiment |")
+        assert len(lines) == 2 + len(EXPERIMENTS)
+        assert all(line.startswith("|") for line in lines)
+
+    def test_check_passes_on_fresh_file(self, tmp_path):
+        path = tmp_path / "paper_map.md"
+        path.write_text(
+            f"# map\n\n{GENERATED_BEGIN}\n{catalogue_markdown()}\n"
+            f"{GENERATED_END}\n"
+        )
+        assert main(["list", "--markdown", "--check", str(path)]) == 0
+
+    def test_check_fails_on_stale_file(self, tmp_path, capsys):
+        path = tmp_path / "paper_map.md"
+        path.write_text(
+            f"{GENERATED_BEGIN}\n| old table |\n{GENERATED_END}\n"
+        )
+        assert main(["list", "--markdown", "--check", str(path)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_check_fails_without_markers(self, tmp_path, capsys):
+        path = tmp_path / "paper_map.md"
+        path.write_text("no markers here\n")
+        assert main(["list", "--markdown", "--check", str(path)]) == 1
+        assert "markers" in capsys.readouterr().err
+
+    def test_check_fails_on_missing_file(self, tmp_path):
+        path = tmp_path / "absent.md"
+        assert main(["list", "--markdown", "--check", str(path)]) == 1
+
+    def test_check_requires_markdown_flag(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["list", "--check", str(tmp_path / "x.md")])
+
+    # Freshness of the committed docs/paper_map.md is covered once, in
+    # tests/test_docs.py (mirroring the CI docs job's invocation).
 
 
 class TestRun:

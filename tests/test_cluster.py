@@ -372,3 +372,66 @@ class TestDisaggregation:
                     >= record.serve_request.finish_time
                     + record.migration_seconds
                 )
+
+
+# ----------------------------------------------------------------------
+# Per-tier scheduler policies
+# ----------------------------------------------------------------------
+class TestClusterSchedulerPolicies:
+    def test_fleet_policy_reaches_every_replica(self):
+        c = cluster(2, scheduler_policy="hybrid")
+        assert all(
+            r.engine.scheduler.name == "hybrid" for r in c.replicas
+        )
+        # The template config is untouched (replicas get a copy).
+        assert c.config.engine.scheduler_policy == "fcfs"
+
+    def test_default_keeps_engine_config_policy(self):
+        c = cluster(2)
+        assert all(r.engine.scheduler.name == "fcfs" for r in c.replicas)
+
+    def test_prefill_tier_override(self):
+        c = cluster(
+            3,
+            disaggregated=True,
+            n_prefill_replicas=1,
+            prefill_scheduler_policy="hybrid",
+        )
+        by_role = {r.role: r.engine.scheduler.name for r in c.replicas}
+        assert by_role["prefill"] == "hybrid"
+        assert by_role["decode"] == "fcfs"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            cluster(2, scheduler_policy="edf")
+        with pytest.raises(ConfigError):
+            cluster(
+                2,
+                disaggregated=True,
+                n_prefill_replicas=1,
+                prefill_scheduler_policy="edf",
+            )
+
+    def test_prefill_override_requires_disaggregation(self):
+        with pytest.raises(ConfigError):
+            cluster(2, prefill_scheduler_policy="hybrid")
+
+    def test_hybrid_fleet_serves_the_trace(self):
+        c = cluster(2, scheduler_policy="hybrid")
+        c.submit(trace())
+        report = c.run()
+        assert len(report.finished_records) == COUNT
+
+    def test_disaggregated_hybrid_prefill_tier_serves(self):
+        c = cluster(
+            2,
+            disaggregated=True,
+            n_prefill_replicas=1,
+            prefill_scheduler_policy="hybrid",
+        )
+        c.submit(trace())
+        report = c.run()
+        assert len(report.finished_records) == COUNT
+        # Hybrid prefill tier chunks prompts: mixed iterations ran.
+        prefill_metrics = report.replica_reports[0].metrics
+        assert len(prefill_metrics.of_phase("mixed")) > 0

@@ -1,0 +1,93 @@
+"""The docs tree stays wired to the code: generated table + links.
+
+CI runs the same two checks as a dedicated job (`docs` in
+.github/workflows/ci.yml); running them in tier-1 catches staleness
+before a push ever happens.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "scripts" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsTree:
+    def test_expected_documents_exist(self):
+        for name in ("architecture.md", "paper_map.md", "scheduling.md"):
+            assert (REPO / "docs" / name).is_file(), name
+
+    def test_readme_links_the_docs(self):
+        readme = (REPO / "README.md").read_text()
+        for name in ("docs/architecture.md", "docs/paper_map.md",
+                     "docs/scheduling.md"):
+            assert name in readme, f"README does not link {name}"
+
+    def test_docs_cross_link(self):
+        architecture = (REPO / "docs" / "architecture.md").read_text()
+        scheduling = (REPO / "docs" / "scheduling.md").read_text()
+        assert "scheduling.md" in architecture
+        assert "architecture.md" in scheduling
+        assert "paper_map.md" in architecture
+
+
+class TestPaperMapFreshness:
+    def test_cli_check_passes(self):
+        # Same invocation as CI: the committed table matches the
+        # catalogue in src/repro/__main__.py.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "--markdown",
+             "--check", "docs/paper_map.md"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_every_registered_experiment_in_paper_map(self):
+        from repro.__main__ import EXPERIMENTS
+
+        content = (REPO / "docs" / "paper_map.md").read_text()
+        for name, experiment in EXPERIMENTS.items():
+            assert f"`{name}`" in content, name
+            assert f"`{experiment.module}`" in content, experiment.module
+
+
+class TestLinkCheck:
+    def test_repo_docs_have_no_broken_links(self, capsys):
+        check_links = load_check_links()
+        assert check_links.main(
+            [str(REPO / "README.md"), str(REPO / "docs")]
+        ) == 0
+
+    def test_detects_broken_link(self, tmp_path):
+        check_links = load_check_links()
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no/such/file.md)\n")
+        assert check_links.main([str(bad)]) == 1
+
+    def test_ignores_external_and_anchors_and_code(self, tmp_path):
+        check_links = load_check_links()
+        ok = tmp_path / "ok.md"
+        ok.write_text(
+            "[web](https://example.com) [anchor](#section)\n"
+            "```text\n[fake](inside/code.md)\n```\n"
+        )
+        assert check_links.main([str(ok)]) == 0

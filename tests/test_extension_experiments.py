@@ -70,14 +70,14 @@ class TestUvmLimitations:
 
 
 class TestChunkedPrefill:
-    def test_stall_shrinks_with_chunk_size(self):
-        rows = {r.chunk_size: r for r in ext_chunked_prefill.run(
-            chunk_sizes=(None, 2_048)
+    def test_stall_shrinks_with_token_budget(self):
+        rows = {r.token_budget: r for r in ext_chunked_prefill.run(
+            token_budgets=(None, 2_048)
         )}
         assert rows[None].worst_decode_stall > 5 * rows[2_048].worst_decode_stall
 
     def test_makespan_preserved(self):
-        rows = ext_chunked_prefill.run(chunk_sizes=(None, 2_048))
+        rows = ext_chunked_prefill.run(token_budgets=(None, 2_048))
         makespans = [r.makespan for r in rows]
         assert max(makespans) / min(makespans) < 1.1
 
