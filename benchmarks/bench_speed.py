@@ -1,0 +1,215 @@
+"""Wall-clock benchmark of the event-driven simulation core.
+
+Measures decode-heavy serving runs with decode fast-forwarding on vs
+off (``repro.sim``; everything else identical, reports bit-identical —
+the benchmark verifies the simulated end state matches before trusting
+a timing) and writes the results to ``BENCH_speed.json``, seeding the
+repo's performance trajectory.
+
+Cases (the decode-heavy end of the catalogue):
+
+* ``fig09_offline_<system>`` — offline throughput on the
+  arXiv-Summarization trace, one run per paper system.
+* ``fig10_online`` — online Poisson load on FA2_vAttention.
+* ``ext_cluster_router_4x`` — a 4-replica cache-aware fleet (2 in
+  ``--quick``).
+
+Usage::
+
+    python benchmarks/bench_speed.py            # full, asserts >= 5x
+    python benchmarks/bench_speed.py --quick    # CI smoke: on beats off
+
+The full run asserts the fig09-class aggregate speedup meets the 5x
+target; ``--quick`` (the CI perf-smoke job) only asserts that
+fast-forwarding beats the per-iteration loop on the decode-heavy case,
+keeping the job robust on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+import repro.serving.engine as engine_module
+from repro.experiments.common import paper_engine
+from repro.experiments.ext_cluster_router import build_cluster, cluster_trace
+from repro.models.zoo import YI_6B
+from repro.workloads.arrival import poisson_arrivals
+from repro.workloads.traces import arxiv_offline_trace, fixed_trace
+
+FIG09_SYSTEMS = ("FA2_Paged", "FI_Paged", "FA2_vAttention")
+
+
+def _fig09_engine(system: str, count: int):
+    engine = paper_engine(system, YI_6B, max_batch_size=48)
+    engine.submit(arxiv_offline_trace(count=count, seed=2405))
+    return engine
+
+
+def _fig10_engine(count: int):
+    engine = paper_engine("FA2_vAttention", YI_6B, max_batch_size=32)
+    engine.submit(
+        fixed_trace(
+            count=count,
+            prompt_len=4_096,
+            max_new_tokens=256,
+            arrivals=poisson_arrivals(qps=1.5, count=count, seed=4437),
+        )
+    )
+    return engine
+
+
+def _run_engine(build: Callable[[], object], fast_forward: bool):
+    engine_module.DEFAULT_FAST_FORWARD = fast_forward
+    engine = build()
+    started = time.perf_counter()
+    report = engine.run()
+    elapsed = time.perf_counter() - started
+    fingerprint = (
+        repr(report.end_time),
+        len(report.finished_requests),
+        report.metrics.iteration_count(),
+    )
+    return elapsed, fingerprint, report
+
+
+def _run_cluster(build: Callable[[], object], fast_forward: bool):
+    engine_module.DEFAULT_FAST_FORWARD = fast_forward
+    cluster = build()
+    started = time.perf_counter()
+    report = cluster.run()
+    elapsed = time.perf_counter() - started
+    fingerprint = (
+        repr(report.end_time),
+        len(report.finished_records),
+        tuple(repr(latency) for latency in sorted(report.e2e_latencies())),
+    )
+    return elapsed, fingerprint, report
+
+
+def measure(
+    name: str,
+    build: Callable[[], object],
+    runner: Callable,
+    repeats: int,
+) -> Dict:
+    """Best-of-N wall-clock for both modes, with end-state verification."""
+    fast_times: List[float] = []
+    slow_times: List[float] = []
+    fast_state = slow_state = None
+    for _ in range(repeats):
+        elapsed, fast_state, _ = runner(build, True)
+        fast_times.append(elapsed)
+        elapsed, slow_state, _ = runner(build, False)
+        slow_times.append(elapsed)
+    if fast_state != slow_state:
+        raise AssertionError(
+            f"{name}: fast-forwarded end state diverged from the "
+            f"per-iteration loop: {fast_state} != {slow_state}"
+        )
+    fast = min(fast_times)
+    slow = min(slow_times)
+    row = {
+        "case": name,
+        "fast_seconds": round(fast, 6),
+        "slow_seconds": round(slow, 6),
+        "speedup": round(slow / fast, 3),
+    }
+    print(
+        f"  {name:<28} fast {fast * 1e3:8.1f}ms   "
+        f"slow {slow * 1e3:8.1f}ms   {slow / fast:5.2f}x"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale for CI: asserts on-beats-off only",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_speed.json", help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    fig09_count = 40 if args.quick else 120
+    fig10_count = 32 if args.quick else 96
+    cluster_replicas = 2 if args.quick else 4
+    cluster_count = 24 if args.quick else 96
+    repeats = 1 if args.quick else 2
+
+    print(
+        f"decode fast-forwarding wall-clock "
+        f"({'quick' if args.quick else 'full'} scale)"
+    )
+    rows: List[Dict] = []
+    for system in FIG09_SYSTEMS:
+        rows.append(
+            measure(
+                f"fig09_offline_{system}",
+                lambda system=system: _fig09_engine(system, fig09_count),
+                _run_engine,
+                repeats,
+            )
+        )
+    rows.append(
+        measure(
+            "fig10_online",
+            lambda: _fig10_engine(fig10_count),
+            _run_engine,
+            repeats,
+        )
+    )
+
+    def build_fleet():
+        cluster = build_cluster(cluster_replicas, "cache_aware")
+        cluster.submit(
+            cluster_trace(count=cluster_count, sharing_factor=4, qps=10.0)
+        )
+        return cluster
+
+    rows.append(
+        measure(
+            f"ext_cluster_router_{cluster_replicas}x",
+            build_fleet,
+            _run_cluster,
+            repeats,
+        )
+    )
+
+    fig09_rows = [r for r in rows if r["case"].startswith("fig09")]
+    fig09_fast = sum(r["fast_seconds"] for r in fig09_rows)
+    fig09_slow = sum(r["slow_seconds"] for r in fig09_rows)
+    fig09_speedup = fig09_slow / fig09_fast
+    payload = {
+        "benchmark": "bench_speed",
+        "quick": args.quick,
+        "cases": rows,
+        "fig09_class_speedup": round(fig09_speedup, 3),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    print(f"fig09-class aggregate speedup: {fig09_speedup:.2f}x")
+    print(f"wrote {args.output}")
+
+    # The decode-heavy case must always win with fast-forwarding on.
+    decode_heavy = max(fig09_rows, key=lambda r: r["speedup"])
+    assert decode_heavy["speedup"] > 1.0, (
+        f"fast-forwarding lost on {decode_heavy['case']}: "
+        f"{decode_heavy['speedup']}x"
+    )
+    if not args.quick:
+        assert fig09_speedup >= 5.0, (
+            f"fig09-class speedup {fig09_speedup:.2f}x misses the 5x target"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

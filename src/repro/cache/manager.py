@@ -365,6 +365,13 @@ class PrefixCacheManager(MemoryBackend):
     def after_iteration(self, iteration_seconds: float) -> None:
         self.inner.after_iteration(iteration_seconds)
 
+    def decode_fast_path(self, batch):
+        """Delegate to vAttention: a steady decode stretch never touches
+        the cache (no admissions, no prefills, no memory pressure —
+        the inner plan's horizon guarantees ``prepare_iteration`` would
+        succeed outright, so the wrapper's eviction path stays idle)."""
+        return self.inner.decode_fast_path(batch)
+
     def framework_overhead(self, running) -> float:
         return self.inner.framework_overhead(running)
 

@@ -35,14 +35,14 @@ machinery the paper builds.
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
 from ..scheduling import validate_scheduler_policy
 from ..serving.engine import EngineConfig, LLMEngine
 from ..serving.request import Request
+from ..sim.events import EventKind, EventQueue
 from .interconnect import INTERCONNECTS, MigrationLink, get_interconnect
 from .report import ClusterReport, RequestRecord
 from .router import ROUTING_POLICIES, ReplicaView, least_loaded, make_policy
@@ -151,7 +151,8 @@ class Replica(ReplicaView):
 
 @dataclass
 class _Migration:
-    """One KV handoff in flight on the interconnect."""
+    """One KV handoff in flight on the interconnect (a MIGRATION
+    event's payload: dispatched when the bytes land)."""
 
     ready_time: float
     record: RequestRecord
@@ -201,9 +202,10 @@ class ClusterEngine:
             balance_rel=config.balance_rel,
         )
         self.link = MigrationLink(get_interconnect(config.interconnect))
-        self._arrivals: Deque[Request] = deque()
         self._submitted: List[Request] = []
-        self._migrations: List[_Migration] = []
+        #: Arrival and migration-completion events on the shared
+        #: timeline (populated by :meth:`run`).
+        self._events: EventQueue = EventQueue()
         #: Finished prefills whose KV has not been put on the link yet.
         self._pending_transfers: List[tuple] = []
         self._records: List[RequestRecord] = []
@@ -226,52 +228,59 @@ class ClusterEngine:
         self._submitted.extend(requests)
 
     # ------------------------------------------------------------------
-    # The shared-virtual-time event loop
+    # The next-event loop
     # ------------------------------------------------------------------
     def run(self) -> ClusterReport:
-        """Serve every submitted request; returns the fleet report."""
+        """Serve every submitted request; returns the fleet report.
+
+        A next-event loop over one :class:`~repro.sim.events.EventQueue`
+        holding arrivals and KV-migration completions. Each pass:
+
+        1. Event *sources* (replicas arrivals route to) run ahead to
+           the next-arrival horizon — conservative parallel
+           discrete-event simulation: their prefill completions are the
+           only thing that can spawn new (migration) events, so every
+           event earlier than that horizon is on the queue before
+           anything commits to it. Harvested completions go onto the
+           serialized link in simulated-time order and their landings
+           are pushed as MIGRATION events.
+        2. The earliest event is popped; replicas whose state the
+           dispatch decision can observe (queue depths, cache content,
+           outstanding tokens) advance to the event time first, so the
+           router sees exactly what a live deployment's router would.
+        3. Every event due at that instant dispatches — arrivals before
+           migrations, both in deterministic order.
+
+        With decode fast-forwarding inside each engine, a ``run_until``
+        sweep costs one analytic stretch per replica instead of one
+        Python loop per token — the fleet advances from event to event.
+        """
         self._started = True
-        self._arrivals = deque(
-            sorted(self._submitted, key=lambda r: r.arrival_time)
-        )
+        self._events = EventQueue()
+        for request in sorted(self._submitted, key=lambda r: r.arrival_time):
+            self._events.push(request.arrival_time, EventKind.ARRIVAL, request)
         while True:
-            arrival_horizon = (
-                self._arrivals[0].arrival_time
-                if self._arrivals
-                else math.inf
-            )
+            arrival_horizon = self._events.next_time(EventKind.ARRIVAL)
             # Event sources first: every migration born before the next
-            # arrival must be on the books before the fleet advances.
+            # arrival must be on the queue before the fleet advances.
             for replica in self._route_targets:
                 replica.engine.run_until(arrival_horizon)
             self._schedule_transfers()
-            migration_horizon = min(
-                (m.ready_time for m in self._migrations), default=math.inf
-            )
-            now = min(arrival_horizon, migration_horizon)
-            if math.isinf(now):
+            head = self._events.peek()
+            if head is None:
                 break
+            now = head.time
             for replica in self.replicas:
                 replica.engine.run_until(now)
-            self._dispatch_due(now)
+            for event in self._events.pop_due(now):
+                if event.kind is EventKind.ARRIVAL:
+                    self._route(event.payload)
+                else:
+                    self._dispatch_migration(event.payload)
         # Decode replicas never create events; they drain last.
         for replica in self.replicas:
             replica.engine.run_until(math.inf)
         return self._build_report()
-
-    def _dispatch_due(self, now: float) -> None:
-        while self._arrivals and self._arrivals[0].arrival_time <= now:
-            self._route(self._arrivals.popleft())
-        due = sorted(
-            (m for m in self._migrations if m.ready_time <= now),
-            key=lambda m: m.ready_time,
-        )
-        if due:
-            self._migrations = [
-                m for m in self._migrations if m.ready_time > now
-            ]
-            for migration in due:
-                self._dispatch_migration(migration)
 
     # ------------------------------------------------------------------
     # Routing and KV migration
@@ -358,7 +367,11 @@ class ClusterEngine:
             prefill_done=True,
             prefilled_tokens=prefill.context_len,
         )
-        self._migrations.append(_Migration(done, record, continuation))
+        self._events.push(
+            done,
+            EventKind.MIGRATION,
+            _Migration(done, record, continuation),
+        )
 
     def _dispatch_migration(self, migration: _Migration) -> None:
         replica = least_loaded(self._decode_targets)

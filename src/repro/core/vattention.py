@@ -30,7 +30,7 @@ so runtime cost is mapping (``cuMemMap``+``cuMemSetAccess`` at 2MB,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import AllocationFailed, ConfigError, SchedulingError
 from ..gpu.device import Device
@@ -106,6 +106,12 @@ class VAttention:
             self._unmap_pg_latency = api_latency("release", pg)
         self._map_row_latency = config.n_tensors * self._map_pg_latency
         self._unmap_row_latency = config.n_tensors * self._unmap_pg_latency
+        #: Cached config-derived constants: the config recomputes its
+        #: layout properties on every access, and these sit on the
+        #: per-iteration hot path (demand computation, maintenance).
+        self._tokens_per_row = config.tokens_per_page_group
+        self._n_tensors = config.n_tensors
+        self._minimum_free_rows: int = 0  # set after total_rows below
 
         # --- Virtual memory: reserve the 2N (or 2) buffers for the
         # lifetime of the serving application (S5.3.1).
@@ -127,6 +133,9 @@ class VAttention:
                 f"(row={config.row_bytes} bytes, "
                 f"available={device.pool.available})"
             )
+        self._minimum_free_rows = int(
+            self.total_rows * config.reclamation_threshold
+        )
         create_latency = (
             api_latency("create", pg) * config.n_tensors * self.total_rows
         )
@@ -181,8 +190,15 @@ class VAttention:
         return self.free_rows + self.cached_rows + self.excess_active_rows
 
     def rows_for_context(self, context_len: int) -> int:
-        """Rows needed to back ``context_len`` tokens (delegates to config)."""
-        return self.config.rows_for_context(context_len)
+        """Rows needed to back ``context_len`` tokens.
+
+        Same math as :meth:`VAttentionConfig.rows_for_context`, against
+        the cached tokens-per-row constant (this runs per request per
+        iteration).
+        """
+        if context_len < 0:
+            raise ConfigError(f"negative context length {context_len}")
+        return -(-context_len // self._tokens_per_row)
 
     # ------------------------------------------------------------------
     # Admission queries (used by the serving scheduler)
@@ -545,15 +561,21 @@ class VAttention:
         ``charge=False`` and advance the clock once.
         """
         latency = 0.0
+        free_rows = self._free_rows
+        rows = slot.rows
+        row_refs = self._row_refs
+        map_latency = self._map_row_latency
+        stats = self.stats
+        n_tensors = self._n_tensors
         for _ in range(count):
-            if not self._free_rows:
+            if not free_rows:
                 latency += self._reclaim_one_row()
-            handle = self._free_rows.pop()
-            slot.rows.append(handle)
-            self._row_refs[handle.handle_id] = 1
-            latency += self._map_row_latency
-            self.stats.map_calls += self.config.n_tensors
-            self.stats.rows_mapped += 1
+            handle = free_rows.pop()
+            rows.append(handle)
+            row_refs[handle.handle_id] = 1
+            latency += map_latency
+            stats.map_calls += n_tensors
+            stats.rows_mapped += 1
         if background:
             self.background.submit(latency, critical=critical)
             return 0.0
@@ -568,9 +590,9 @@ class VAttention:
         page-group stays live for the other request(s) sharing it.
         """
         handle = slot.rows.pop()
-        if slot.shared_rows > slot.mapped_rows:
-            slot.shared_rows = slot.mapped_rows
-        self.stats.unmap_calls += self.config.n_tensors
+        if slot.shared_rows > len(slot.rows):
+            slot.shared_rows = len(slot.rows)
+        self.stats.unmap_calls += self._n_tensors
         self.stats.rows_unmapped += 1
         remaining = self._row_refs.get(handle.handle_id, 1) - 1
         if remaining <= 0:
@@ -583,12 +605,32 @@ class VAttention:
     def _unmap_rows(
         self, slot: RequestSlot, count: int, background: bool
     ) -> None:
-        """Release ``count`` rows from ``slot`` (top-down)."""
-        count = min(count, slot.mapped_rows)
+        """Release ``count`` rows from ``slot`` (top-down).
+
+        Inlines :meth:`_detach_row`'s per-row work (this is the
+        reclamation hot loop); the latency still accumulates one row at
+        a time, preserving the exact float sum the per-row path
+        produced.
+        """
+        rows = slot.rows
+        count = min(count, len(rows))
         latency = 0.0
+        refs = self._row_refs
+        free_rows = self._free_rows
+        unmap_latency = self._unmap_row_latency
         for _ in range(count):
-            self._detach_row(slot)
-            latency += self._unmap_row_latency
+            handle = rows.pop()
+            remaining = refs.get(handle.handle_id, 1) - 1
+            if remaining <= 0:
+                refs.pop(handle.handle_id, None)
+                free_rows.append(handle)
+            else:
+                refs[handle.handle_id] = remaining
+            latency += unmap_latency
+        if slot.shared_rows > len(rows):
+            slot.shared_rows = len(rows)
+        self.stats.unmap_calls += self._n_tensors * count
+        self.stats.rows_unmapped += count
         if background:
             self.background.submit(latency, critical=False)
         else:
@@ -623,29 +665,49 @@ class VAttention:
 
     def _eager_prepare_next(self) -> None:
         """Pre-map a few rows for the next reqId to be handed out (S6.1.2)."""
-        candidates = [s for s in self.slots if not s.active]
-        if not candidates:
+        # Hot path (every iteration): len(s.rows) over a property access.
+        best_key = None
+        target = None
+        for slot in self.slots:
+            if slot.active:
+                continue
+            key = (len(slot.rows), -slot.req_id)
+            if best_key is None or key > best_key:
+                best_key = key
+                target = slot
+        if target is None:
             return
-        target = max(candidates, key=lambda s: (s.mapped_rows, -s.req_id))
-        deficit = self.config.eager_page_groups - target.mapped_rows
-        deficit = min(deficit, self.free_rows)
+        deficit = self.config.eager_page_groups - len(target.rows)
+        deficit = min(deficit, len(self._free_rows))
         if deficit > 0:
             self._map_rows(target, deficit, background=True, critical=False)
 
-    def _maintain_free_threshold(self) -> None:
-        """Keep the free-row fraction above the reclamation threshold."""
-        minimum_free = int(self.total_rows * self.config.reclamation_threshold)
-        shortfall = minimum_free - self.free_rows
+    def _maintain_free_threshold(
+        self, victims: "Optional[List[RequestSlot]]" = None
+    ) -> None:
+        """Keep the free-row fraction above the reclamation threshold.
+
+        ``victims`` lets a caller that knows the inactive set and its
+        LRU order cannot have changed (the decode fast path: no
+        allocs/frees/steps happen mid-stretch) pass the ordered
+        candidates instead of re-sorting them; empty slots in the list
+        are skipped exactly as the fresh computation would exclude them.
+        """
+        shortfall = self._minimum_free_rows - len(self._free_rows)
         if shortfall <= 0:
             return
-        victims = sorted(
-            (s for s in self.slots if not s.active and s.mapped_rows),
-            key=lambda s: s.last_used,
-        )
+        if victims is None:
+            victims = sorted(
+                (s for s in self.slots if not s.active and s.rows),
+                key=lambda s: s.last_used,
+            )
         for victim in victims:
             if shortfall <= 0:
                 break
-            take = min(victim.mapped_rows, shortfall)
+            held = len(victim.rows)
+            if not held:
+                continue
+            take = held if held < shortfall else shortfall
             self._unmap_rows(victim, take, background=True)
             shortfall -= take
         if shortfall <= 0:
@@ -657,7 +719,7 @@ class VAttention:
             if not slot.active:
                 continue
             needed = self.rows_for_context(slot.context_len + 1)
-            excess = slot.mapped_rows - needed
+            excess = len(slot.rows) - needed
             if excess > 0:
                 take = min(excess, shortfall)
                 self._unmap_rows(slot, take, background=True)

@@ -61,6 +61,10 @@ def run_one(
             max_batch_size=DECODE_BATCH + 1,
             scheduler_policy="fcfs" if token_budget is None else "hybrid",
             sched_token_budget=token_budget or 1,
+            # The stall metric below measures gaps between *individual*
+            # decode progress points; a fast-forwarded stretch is one
+            # record, which would erase exactly the series under study.
+            fast_forward=False,
         )
     )
     # A steady decode batch...

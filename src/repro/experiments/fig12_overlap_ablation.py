@@ -73,6 +73,10 @@ def run_one(
         overlap_allocation=overlapped,
         # Isolate the overlap effect exactly as the paper's ablation does.
         eager_allocation=overlapped,
+        # This figure *is* the per-iteration decode latency series;
+        # fast-forwarding would compress the clean stretches between
+        # allocation spikes into single records.
+        fast_forward=False,
     )
     prompts = _spread_prompts(seed)
     requests = []

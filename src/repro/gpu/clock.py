@@ -61,6 +61,27 @@ class SimClock:
             self.advance(timestamp - self._now)
         return self._now
 
+    def jump_to(self, timestamp: float) -> float:
+        """Set the clock to an exactly-precomputed future ``timestamp``.
+
+        :meth:`advance` and :meth:`advance_to` *add a duration*, which
+        rounds once more than a caller that accumulated the target time
+        itself — ``now + (target - now)`` need not equal ``target`` in
+        floats. The decode fast path sums its iteration latencies
+        externally with the per-iteration loop's exact arithmetic and
+        uses this to land the clock on the bit-identical result.
+        Observers are notified once over the whole jump.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot jump clock backwards ({self._now} -> {timestamp})"
+            )
+        previous = self._now
+        self._now = float(timestamp)
+        for observer in self._observers:
+            observer(previous, self._now)
+        return self._now
+
     def subscribe(self, observer: Observer) -> None:
         """Register a callback invoked as ``observer(old_now, new_now)``."""
         self._observers.append(observer)

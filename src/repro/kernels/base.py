@@ -116,6 +116,31 @@ class AttentionKernel(abc.ABC):
         resolved = self.validate_block_size(block_size)
         return self._decode_time(shard, context_lens, resolved)
 
+    def decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: Optional[int] = None,
+    ) -> float:
+        """Decode attention time from aggregate batch properties.
+
+        Every library's decode latency depends on the batch only through
+        its *total* token count and its *size* (S7.2: latency is
+        proportional to total tokens; per-library factors depend on
+        batch size and block size). :meth:`decode_time` routes through
+        the same per-library implementation, so for any ``context_lens``
+        this returns the bit-identical float — which is what lets the
+        decode fast path evolve ``total_tokens`` by integer increments
+        instead of walking a context list every iteration.
+        """
+        if not self.info.supports_decode:
+            raise KernelError(f"{self.info.name} has no decode kernel")
+        if batch_size <= 0:
+            raise KernelError(f"decode batch must be positive, got {batch_size}")
+        resolved = self.validate_block_size(block_size)
+        return self._decode_time_total(shard, total_tokens, batch_size, resolved)
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _prefill_time(
@@ -123,9 +148,31 @@ class AttentionKernel(abc.ABC):
     ) -> float:
         """Library-specific prefill latency (block_size 0 if non-paged)."""
 
-    @abc.abstractmethod
     def _decode_time(
         self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    ) -> float:
+        """Decode latency of a context-length batch.
+
+        Reduces the batch to (total tokens, batch size) and delegates to
+        :meth:`_decode_time_total` — the single per-library
+        implementation both public entry points share.
+        """
+        total_tokens = 0
+        for ctx in context_lens:
+            if ctx < 0:
+                raise KernelError(f"negative context length: {ctx}")
+            total_tokens += ctx
+        return self._decode_time_total(
+            shard, total_tokens, len(context_lens), block_size
+        )
+
+    @abc.abstractmethod
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
         """Library-specific decode latency (block_size 0 if non-paged)."""
 

@@ -20,14 +20,14 @@ Calibration sources:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from ..models.shard import ShardedModel
 from .base import AttentionKernel, KernelInfo, KvLayout
 from .costmodel import (
     EFF_ATTN_PREFILL,
     EFF_DECODE_KV,
-    attention_decode_time,
+    attention_decode_time_total,
     attention_prefill_time,
     interp_factor,
 )
@@ -90,10 +90,16 @@ class FlashAttention2(AttentionKernel):
             shard, self.gpu, context_len, fa2_prefill_efficiency(self.gpu)
         )
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
-        return attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
+        return attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )
 
 
 class FlashAttention2Paged(AttentionKernel):
@@ -119,10 +125,16 @@ class FlashAttention2Paged(AttentionKernel):
         overhead *= FA2_PAGED_SMALL_BLOCK_PENALTY[block_size]
         return base * overhead
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
-        base = attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
+        base = attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )
         overhead = FA2_PAGED_DECODE_OVERHEAD
         overhead *= FA2_PAGED_SMALL_BLOCK_PENALTY[block_size]
         return base * overhead

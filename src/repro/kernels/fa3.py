@@ -14,15 +14,13 @@ the measured end-to-end gains.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from ..errors import KernelError
 from ..gpu.spec import GpuSpec
 from ..models.shard import ShardedModel
 from .base import AttentionKernel, KernelInfo, KvLayout
 from .costmodel import (
     EFF_DECODE_KV,
-    attention_decode_time,
+    attention_decode_time_total,
     attention_prefill_time,
 )
 
@@ -56,9 +54,15 @@ class FlashAttention3(AttentionKernel):
             shard, self.gpu, context_len, EFF_ATTN_PREFILL_FA3
         )
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
         # Decode stays memory-bound; Hopper's higher HBM bandwidth is
         # already captured by the GpuSpec.
-        return attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
+        return attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )

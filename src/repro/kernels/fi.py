@@ -20,13 +20,14 @@ Calibration sources:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, Tuple
 
 from ..models.shard import ShardedModel
 from .base import AttentionKernel, KernelInfo, KvLayout
 from .costmodel import (
     EFF_DECODE_KV,
-    attention_decode_time,
+    attention_decode_time_total,
     attention_prefill_time,
     interp_factor,
 )
@@ -60,8 +61,13 @@ FI_PAGED_DECODE_FACTOR: Dict[int, Tuple[Tuple[int, float], ...]] = {
 FI_NONPAGED_DECODE_FACTOR = 14.6
 
 
+@lru_cache(maxsize=None)
 def _decode_factor(gqa_ratio: int, batch_size: int) -> float:
-    """Interpolated FI_Paged decode factor for a model/batch point."""
+    """Interpolated FI_Paged decode factor for a model/batch point.
+
+    Memoized: the factor is re-read every decode iteration and its
+    operand space is tiny (a few GQA ratios x batch sizes).
+    """
     key = min(FI_PAGED_DECODE_FACTOR, key=lambda g: abs(g - gqa_ratio))
     return interp_factor(FI_PAGED_DECODE_FACTOR[key], max(batch_size, 1))
 
@@ -89,10 +95,16 @@ class FlashInfer(AttentionKernel):
             shard, self.gpu, context_len, fa2_prefill_efficiency(self.gpu)
         )
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
-        base = attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
+        base = attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )
         return base * FI_NONPAGED_DECODE_FACTOR
 
 
@@ -117,8 +129,14 @@ class FlashInferPaged(AttentionKernel):
         )
         return base * interp_factor(FI_PAGED_PREFILL_OVERHEAD, max(context_len, 1))
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
-        base = attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
-        return base * _decode_factor(shard.model.gqa_ratio, len(context_lens))
+        base = attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )
+        return base * _decode_factor(shard.model.gqa_ratio, batch_size)

@@ -22,11 +22,11 @@ only implements decode.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from ..models.shard import ShardedModel
 from .base import AttentionKernel, KernelInfo, KvLayout
-from .costmodel import EFF_DECODE_KV, attention_decode_time
+from .costmodel import EFF_DECODE_KV, attention_decode_time_total
 
 #: Figure 3: latency factor over block size 16, averaged across the
 #: batch-size*context sweep (individual points vary by a few percent).
@@ -65,9 +65,15 @@ class VllmPaged(AttentionKernel):
     ) -> float:  # pragma: no cover - guarded by supports_prefill
         raise AssertionError("vLLM has no paged prefill kernel")
 
-    def _decode_time(
-        self, shard: ShardedModel, context_lens: Sequence[int], block_size: int
+    def _decode_time_total(
+        self,
+        shard: ShardedModel,
+        total_tokens: int,
+        batch_size: int,
+        block_size: int,
     ) -> float:
-        base = attention_decode_time(shard, self.gpu, context_lens, EFF_DECODE_KV)
+        base = attention_decode_time_total(
+            shard, self.gpu, total_tokens, EFF_DECODE_KV
+        )
         penalty = vllm_gqa_penalty(shard.model.gqa_ratio)
         return base * penalty * VLLM_BLOCK_SIZE_FACTOR[block_size]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..serving.request import Request
 from .stats import mean, percentile
@@ -11,17 +11,43 @@ from .stats import mean, percentile
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """One engine iteration's accounting."""
+    """One engine iteration's accounting — or one fast-forwarded stretch.
+
+    The decode fast path (:mod:`repro.sim.fastforward`) executes a run
+    of provably-identical decode iterations analytically and records
+    them as a *single* record with ``iterations > 1``: ``latency``,
+    ``alloc_sync`` and ``tokens`` are then totals over the stretch
+    (``alloc_sync`` is always 0 there — a stretch with synchronous
+    allocation is never fast-forwarded), and :attr:`latencies` retains
+    the exact per-iteration values. Summations must expand through
+    :attr:`iteration_latencies` — adding pre-reduced subtotals
+    re-associates the float additions and can drift by an ulp — and
+    consumers that count iterations must weight by :attr:`iterations`;
+    every summary in :class:`MetricsCollector` already does both.
+    """
 
     start_time: float
-    phase: str  # "prefill" or "decode"
+    phase: str  # "prefill", "mixed" or "decode"
     batch_size: int
-    #: Total wall-clock of the iteration (seconds).
+    #: Total wall-clock of the iteration(s) (seconds).
     latency: float
-    #: Seconds of synchronous memory allocation inside the iteration.
+    #: Seconds of synchronous memory allocation inside the iteration(s).
     alloc_sync: float
-    #: New tokens produced by this iteration.
+    #: New tokens produced by this iteration (or stretch).
     tokens: int
+    #: Engine iterations this record covers (> 1 for a fast-forwarded
+    #: decode stretch; always 1 on the per-iteration path).
+    iterations: int = 1
+    #: Per-iteration latencies of a fast-forwarded stretch (``None``
+    #: for ordinary single-iteration records).
+    latencies: Optional[Tuple[float, ...]] = None
+
+    @property
+    def iteration_latencies(self) -> Tuple[float, ...]:
+        """The record's latency series, one entry per engine iteration."""
+        if self.latencies is not None:
+            return self.latencies
+        return (self.latency,)
 
 
 @dataclass
@@ -39,9 +65,26 @@ class MetricsCollector:
         """Records of one phase."""
         return [r for r in self.iterations if r.phase == phase]
 
+    def iteration_count(self, phase: Optional[str] = None) -> int:
+        """Engine iterations executed (optionally of one phase).
+
+        Counts *iterations*, not records: a fast-forwarded decode
+        stretch is one record covering many iterations.
+        """
+        records = self.iterations if phase is None else self.of_phase(phase)
+        return sum(r.iterations for r in records)
+
     def decode_latencies(self) -> List[float]:
-        """Latency series of decode iterations (the Figure 12 series)."""
-        return [r.latency for r in self.of_phase("decode")]
+        """Latency series of decode iterations (the Figure 12 series).
+
+        Fast-forwarded stretches expand to their exact per-iteration
+        values, so the series is identical whichever path executed.
+        """
+        return [
+            latency
+            for record in self.of_phase("decode")
+            for latency in record.iteration_latencies
+        ]
 
     def mean_decode_latency(self) -> float:
         """Mean decode iteration latency."""
@@ -50,7 +93,11 @@ class MetricsCollector:
     def decode_throughput(self) -> float:
         """Generated tokens per second over all decode iterations."""
         records = self.of_phase("decode")
-        total_time = sum(r.latency for r in records)
+        # Sum per-iteration values: adding stretch subtotals instead
+        # would re-associate the additions and drift by an ulp.
+        total_time = sum(
+            latency for r in records for latency in r.iteration_latencies
+        )
         total_tokens = sum(r.tokens for r in records)
         if total_time == 0:
             raise ValueError("no decode iterations recorded")

@@ -97,7 +97,11 @@ class BlockManager:
                 f"need {needed} blocks, only {self.free_blocks} free"
             )
         allocation = BlockAllocation(request_id=request_id)
-        allocation.block_ids = [self._free.pop() for _ in range(needed)]
+        # Bulk equivalent of popping `needed` times: the pops take the
+        # free list's tail back to front.
+        if needed:
+            allocation.block_ids = self._free[-needed:][::-1]
+            del self._free[-needed:]
         allocation.context_len = n_tokens
         self._allocations[request_id] = allocation
         self.peak_blocks_used = max(self.peak_blocks_used, self.used_blocks)
@@ -116,8 +120,9 @@ class BlockManager:
             raise OutOfPhysicalMemory(
                 f"need {needed} more blocks, only {self.free_blocks} free"
             )
-        for _ in range(needed):
-            allocation.block_ids.append(self._free.pop())
+        if needed > 0:
+            allocation.block_ids.extend(self._free[-needed:][::-1])
+            del self._free[-needed:]
         allocation.context_len = new_context_len
         self.peak_blocks_used = max(self.peak_blocks_used, self.used_blocks)
         return needed

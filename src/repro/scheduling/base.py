@@ -152,6 +152,23 @@ class SchedulerPolicy(abc.ABC):
     ) -> IterationPlan:
         """Shape of the next iteration over the running batch."""
 
+    def stable_decode_horizon(
+        self, running: Sequence["Request"], view: SchedulingView
+    ) -> float:
+        """Iterations over which this policy provably plans the same
+        pure-decode batch, assuming no arrival, completion, admission or
+        preemption occurs (the engine bounds those separately — see
+        :mod:`repro.sim.fastforward`).
+
+        Returning ``math.inf`` promises that, as long as every running
+        request is decoding and the queues do not change, every
+        ``plan_iteration`` call would return the identical DECODE plan.
+        The conservative default is 0 — custom policies opt *in* to
+        decode fast-forwarding by overriding this; a policy whose
+        decisions depend on, say, the clock value itself must not.
+        """
+        return 0
+
     def select_victim(
         self,
         running: Sequence["Request"],

@@ -20,6 +20,7 @@ Two artifacts share these semantics:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Sequence
@@ -59,6 +60,21 @@ class FcfsPolicy(SchedulerPolicy):
                 chunk_tokens=view.prefill_chunk_size,
             )
         return IterationPlan(PlanKind.PREFILL, prefill=prefill)
+
+    def stable_decode_horizon(
+        self, running: Sequence[Request], view: SchedulingView
+    ) -> float:
+        """FCFS keeps decoding until the next arrival or completion.
+
+        With no pending prefill in the batch, ``plan_iteration`` is a
+        pure function of "does anyone need a prefill" — so the decode
+        plan is stable indefinitely; the engine's arrival/completion
+        bounds are the only limits. A pending prefill means the next
+        plan is not a decode at all.
+        """
+        if any(r.needs_prefill for r in running):
+            return 0
+        return math.inf
 
 
 @dataclass

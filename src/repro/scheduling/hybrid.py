@@ -45,6 +45,7 @@ the policy changes *batch composition*, not fairness.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 from .base import (
@@ -93,3 +94,19 @@ class HybridBatchPolicy(SchedulerPolicy):
         return IterationPlan(
             PlanKind.MIXED, prefill=prefill, chunk_tokens=chunk
         )
+
+    def stable_decode_horizon(
+        self, running: Sequence[Request], view: SchedulingView
+    ) -> float:
+        """Zero while a prefill is pending; unbounded otherwise.
+
+        Any pending prompt turns the next iteration into a *mixed* batch
+        (hybrid never decodes past a waiting prefill), so no decode
+        stretch exists. Once every running request is decoding, the
+        token budget is irrelevant — decodes always all participate —
+        and the plan is stable until an arrival or completion, which the
+        engine bounds.
+        """
+        if any(r.needs_prefill for r in running):
+            return 0
+        return math.inf

@@ -93,3 +93,17 @@ class SlaAwarePolicy(SchedulerPolicy):
     ) -> Request:
         candidates = [r for r in running if r is not protected]
         return max(candidates, key=self._urgency)
+
+    def stable_decode_horizon(
+        self, running: Sequence[Request], view: SchedulingView
+    ) -> float:
+        """Deadlines reorder *prefills* and *admissions*, not decodes.
+
+        A batch with no pending prefill decodes in lockstep whatever the
+        urgency order says — urgency only matters again when a request
+        arrives (an engine-level bound) or a prefill appears. So the
+        decode plan is as stable as FCFS's.
+        """
+        if any(r.needs_prefill for r in running):
+            return 0
+        return math.inf

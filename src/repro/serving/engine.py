@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Sequence
 
 from ..core.config import VAttentionConfig
@@ -35,8 +35,7 @@ from ..gpu.device import Device
 from ..gpu.spec import GpuSpec
 from ..kernels.base import AttentionKernel, KvLayout
 from ..kernels.costmodel import (
-    EFF_DECODE_WEIGHTS,
-    Roofline,
+    decode_weight_stream_time,
     linear_decode_time,
     linear_prefill_time,
 )
@@ -51,6 +50,7 @@ from ..scheduling import (
     make_scheduler_policy,
     validate_scheduler_policy,
 )
+from ..sim.fastforward import DecodeFastForwarder
 from ..units import GB, MB, us
 from .memory import (
     MemoryBackend,
@@ -70,6 +70,17 @@ PER_SEQ_CPU_OVERHEAD = us(40)
 
 #: Activation / workspace memory reserved per worker besides weights.
 DEFAULT_WORKSPACE_BYTES = 4 * GB
+
+#: Default for :attr:`EngineConfig.fast_forward`. A module-level
+#: constant (read at construction time) so equivalence sweeps can flip
+#: a whole experiment run without threading a knob through every
+#: driver: ``monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD",
+#: False)``.
+DEFAULT_FAST_FORWARD = True
+
+
+def _default_fast_forward() -> bool:
+    return DEFAULT_FAST_FORWARD
 
 
 @dataclass
@@ -140,6 +151,14 @@ class EngineConfig:
     prefix_cache_budget_bytes: Optional[int] = None
     iteration_cpu_overhead: float = ITERATION_CPU_OVERHEAD
     per_seq_cpu_overhead: float = PER_SEQ_CPU_OVERHEAD
+    #: Decode fast-forwarding (:mod:`repro.sim.fastforward`): execute
+    #: provably-steady pure-decode stretches in one analytic step
+    #: instead of one Python loop per token. Reports are bit-identical
+    #: either way (the horizon contract guarantees it; the golden and
+    #: equivalence tests enforce it) — only wall-clock changes. Turn off
+    #: to force the legacy per-iteration loop, e.g. for experiments that
+    #: study the per-iteration latency *series* itself.
+    fast_forward: bool = field(default_factory=_default_fast_forward)
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -222,10 +241,15 @@ class LLMEngine:
             default_ttft_budget=config.sla_ttft_budget,
         )
         self.metrics = MetricsCollector()
+        self._fast = DecodeFastForwarder(self)
         self._pending: Deque[Request] = deque()  # future arrivals
         self._waiting: Deque[Request] = deque()  # arrived, not admitted
         self._running: List[Request] = []
         self._all_requests: List[Request] = []
+        #: Clock value when this engine first had work to serve — the
+        #: report baseline for engines driven by ``run_until`` (cluster
+        #: replicas), whose serving can begin at a nonzero virtual time.
+        self._serve_start: Optional[float] = None
         #: Invoked with each request the instant it finishes. The
         #: cluster layer uses this to hand prefill-replica KV off to a
         #: decode replica at the simulated time the prefill completed.
@@ -337,12 +361,27 @@ class LLMEngine:
     def _serve(
         self, deadline: float, max_iterations: Optional[int]
     ) -> int:
-        """The scheduler loop behind :meth:`run` and :meth:`run_until`."""
+        """The scheduler loop behind :meth:`run` and :meth:`run_until`.
+
+        With ``fast_forward`` on, every pass first offers the pending
+        work to the decode fast-forwarder (:mod:`repro.sim.fastforward`);
+        stretches it cannot prove steady — prefills, allocation events,
+        preemptions, anything near an arrival or completion — fall
+        through to the per-iteration path below, unchanged. Fast-forwarded
+        iterations count against ``max_iterations`` one for one.
+        """
         iterations = 0
-        while self._has_work():
+        while self.has_work():
             if max_iterations is not None and iterations >= max_iterations:
                 break
             self._ingest_arrivals()
+            if self._serve_start is None and (self._waiting or self._running):
+                # Serving begins when the first request is in front of
+                # the engine — not when an idle engine's (possibly far
+                # older) clock last stood, and not at 0.0: a decode-tier
+                # replica may receive its first work at a large virtual
+                # time, and its report window starts there.
+                self._serve_start = self.clock.now
             self._admit()
             if not self._running:
                 upcoming = (
@@ -354,6 +393,16 @@ class LLMEngine:
                 continue
             if self.clock.now >= deadline:
                 break
+            if self.config.fast_forward:
+                budget = (
+                    None
+                    if max_iterations is None
+                    else max_iterations - iterations
+                )
+                done = self._fast.execute(deadline, budget)
+                if done:
+                    iterations += done
+                    continue
             self._run_iteration()
             iterations += 1
         return iterations
@@ -374,23 +423,29 @@ class LLMEngine:
         """Report of everything served so far.
 
         Useful when a run aborts (e.g. the UVM backend exhausting
-        memory it cannot reclaim): the requests completed before the
-        failure are still a meaningful result.
+        memory it cannot reclaim), and for cluster replicas driven by
+        :meth:`run_until`. The report's baseline is the clock value at
+        which this engine first had work — not 0.0, which inflated the
+        makespan (and deflated throughput) of engines that begin serving
+        at a nonzero virtual time, such as a disaggregated fleet's
+        decode tier.
         """
+        start = (
+            self._serve_start
+            if self._serve_start is not None
+            else self.clock.now
+        )
         return RunReport(
             requests=list(self._all_requests),
             metrics=self.metrics,
-            start_time=0.0,
+            start_time=start,
             end_time=self.clock.now,
             prefix_cache=self.memory.cache_report(),
         )
 
-    def _has_work(self) -> bool:
-        return bool(self._pending or self._waiting or self._running)
-
     def has_work(self) -> bool:
         """Whether any submitted request has not yet finished."""
-        return self._has_work()
+        return bool(self._pending or self._waiting or self._running)
 
     @property
     def outstanding_tokens(self) -> int:
@@ -560,10 +615,7 @@ class LLMEngine:
 
         # Fused linear operators: compute for chunk + batch tokens, but
         # never cheaper than one pass over the weights.
-        roofline = Roofline(gpu)
-        weight_stream = roofline.memory_time(
-            shard.weight_bytes_per_worker, EFF_DECODE_WEIGHTS
-        )
+        weight_stream = decode_weight_stream_time(shard, gpu)
         fused_linear = max(
             linear_prefill_time(shard, gpu, chunk + len(decodes)),
             weight_stream,

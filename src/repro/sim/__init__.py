@@ -1,0 +1,47 @@
+"""Event-driven simulation core.
+
+The reproduction is a discrete-event simulation, but until this package
+existed the *event structure* was implicit: :class:`~repro.serving.
+engine.LLMEngine` executed one Python loop per model iteration, and the
+cluster tier advanced replicas in lockstep sweeps. Both are exact but
+waste wall-clock on iterations whose outcome is analytically known.
+
+This package makes the events explicit:
+
+* :mod:`repro.sim.fastforward` — decode fast-forwarding. When the next
+  K engine iterations are provably identical pure-decode steps (no
+  allocation, no preemption, no arrival, no completion, no scheduling
+  change), they are executed as one analytic stretch: the clock advances
+  by the exact same float arithmetic the per-iteration loop would have
+  produced, K tokens land on every request, and a single aggregated
+  :class:`~repro.metrics.collector.IterationRecord` is emitted. The
+  horizon K is the minimum of what the memory backend, the scheduling
+  policy, the earliest completion, and the next pending arrival allow
+  (see ``docs/performance.md`` for the contract).
+* :mod:`repro.sim.events` — a time-ordered event queue used by the
+  cluster tier's next-event loop (arrivals, KV-migration completions).
+
+The contract throughout is *bit-exactness*: with fast-forwarding on,
+every request timestamp, every derived metric and every report total is
+identical to the per-iteration loop's output (enforced by the golden
+and equivalence tests in ``tests/``); only the number of Python loop
+iterations — and therefore wall-clock — changes.
+"""
+
+from .events import Event, EventKind, EventQueue
+from .fastforward import (
+    UNBOUNDED_HORIZON,
+    DecodeFastForwarder,
+    DecodeFastPath,
+    SteadyDecodeFastPath,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "UNBOUNDED_HORIZON",
+    "DecodeFastForwarder",
+    "DecodeFastPath",
+    "SteadyDecodeFastPath",
+]

@@ -1,0 +1,252 @@
+"""Decode fast-forwarding: analytic execution of provably-steady stretches.
+
+A pure-decode iteration of :class:`~repro.serving.engine.LLMEngine` is a
+deterministic function of a handful of integers: every running request
+advances by one token, the batch composition is fixed, and the latency
+is ``linear + attention(total context) + framework + CPU`` — float
+arithmetic whose operands evolve by integer increments. When the next K
+iterations are *provably* such steps, executing them one Python loop at
+a time buys nothing: the outcome is known analytically.
+
+:class:`DecodeFastForwarder` executes those K iterations in one tight
+loop that performs **exactly the same float operations in exactly the
+same order** as the per-iteration path — the clock, every request
+timestamp, every latency sum and every backend counter come out
+bit-identical (the golden and equivalence tests enforce this). What it
+skips is the per-iteration *machinery*: scheduling-view construction,
+policy planning, memory ``step()`` bookkeeping, per-request method
+calls, and one ``IterationRecord`` allocation per token.
+
+The *horizon* K is the minimum of four bounds (``docs/performance.md``
+spells out the contract):
+
+1. **Memory** — :meth:`~repro.serving.memory.MemoryBackend.
+   decode_fast_path`: iterations absorbable with no synchronous
+   allocation and no preemption (vAttention: the background allocator's
+   lead, replayed exactly at page-group crossings; Paged: free blocks;
+   Static: unbounded; UVM: until the next page fault).
+2. **Scheduling** — :meth:`~repro.scheduling.base.SchedulerPolicy.
+   stable_decode_horizon`: iterations over which the policy provably
+   keeps planning the same pure-decode batch.
+3. **Completion** — tokens until the earliest request in the batch
+   finishes (token budget or model context limit).
+4. **Events** — the next pending arrival and the caller's ``run_until``
+   deadline, checked against the live clock inside the loop (an
+   iteration that would *start* past either never runs, matching the
+   per-iteration loop's semantics exactly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..kernels.costmodel import linear_decode_time
+from ..metrics.collector import IterationRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.engine import LLMEngine
+    from ..serving.request import Request
+
+#: Horizon meaning "no memory-side bound"; the completion/arrival bounds
+#: and the 62-bit headroom keep any real stretch far below it.
+UNBOUNDED_HORIZON = 1 << 62
+
+
+class DecodeFastPath:
+    """A memory backend's contract for one fast-forwardable stretch.
+
+    Built by :meth:`~repro.serving.memory.MemoryBackend.
+    decode_fast_path` against a concrete decode batch. The executor
+    consumes it as follows:
+
+    * at most :attr:`horizon` iterations run;
+    * each iteration's framework overhead is :attr:`per_iteration_overhead`
+      if that is not ``None`` (the common constant case), otherwise
+      :meth:`overhead_at` — which must reproduce the slow path's
+      ``framework_overhead`` float bit-for-bit, including any mid-stretch
+      block-table growth;
+    * if :attr:`has_hooks`, :meth:`on_iteration` observes every executed
+      iteration (replaying background-allocator state); returning
+      ``False`` ends the stretch *after* that iteration — the next
+      iteration would not have been steady;
+    * :meth:`commit` lands the aggregate state (contexts, counters) once
+      the executor knows how many iterations actually ran.
+    """
+
+    #: Iterations this backend can absorb with no synchronous
+    #: allocation, no preemption, and replayable state.
+    horizon: int = 0
+    #: Constant per-iteration framework overhead, or ``None`` when it
+    #: varies across the stretch (then :meth:`overhead_at` is used).
+    per_iteration_overhead: Optional[float] = 0.0
+    #: Whether :meth:`on_iteration` must be invoked per iteration.
+    has_hooks: bool = False
+
+    def overhead_at(self, iteration: int) -> float:
+        """Framework overhead of stretch-iteration ``iteration`` (0-based)."""
+        raise NotImplementedError  # pragma: no cover - constant-overhead plans
+
+    def on_iteration(self, iteration: int, window: float) -> bool:
+        """Observe one executed iteration; ``False`` ends the stretch."""
+        return True  # pragma: no cover - hook-less plans never call this
+
+    def commit(self, executed: int, last_step_now: float) -> None:
+        """Apply the aggregate state of ``executed`` iterations.
+
+        ``last_step_now`` is the simulated time at which the final
+        iteration's ``step()`` would have run (the clock before its
+        compute advance) — what per-iteration bookkeeping such as
+        vAttention's ``slot.last_used`` would have recorded.
+        """
+
+
+class SteadyDecodeFastPath(DecodeFastPath):
+    """Constant-overhead plan for backends with no per-iteration state."""
+
+    def __init__(
+        self,
+        horizon: int,
+        per_iteration_overhead: float = 0.0,
+        commit=None,
+    ) -> None:
+        self.horizon = horizon
+        self.per_iteration_overhead = per_iteration_overhead
+        self._commit = commit
+
+    def commit(self, executed: int, last_step_now: float) -> None:
+        if self._commit is not None:
+            self._commit(executed, last_step_now)
+
+
+class DecodeFastForwarder:
+    """Executes analytic decode stretches for one engine."""
+
+    def __init__(self, engine: "LLMEngine") -> None:
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, deadline: float, budget: Optional[int] = None
+    ) -> int:
+        """Fast-forward as many steady decode iterations as provable.
+
+        Returns the number of iterations executed (0 = no stretch was
+        provable; the caller falls back to the per-iteration path).
+        ``budget`` caps the stretch (the ``max_iterations`` interplay);
+        ``deadline`` and the next pending arrival bound it dynamically —
+        an iteration only runs if it *starts* strictly before both.
+        """
+        engine = self.engine
+        batch: List["Request"] = list(engine._running)
+        if not batch:
+            return 0
+        config = engine.config
+        shard = config.shard
+
+        # --- Bound (2): the scheduling policy's stability promise.
+        horizon = engine.scheduler.stable_decode_horizon(
+            batch, engine._scheduling_view()
+        )
+        # --- Bound (3): earliest completion (token budget or context cap).
+        max_context = shard.max_context
+        for request in batch:
+            remaining = min(
+                request.max_new_tokens - request.generated,
+                max_context - request.context_len,
+            )
+            if remaining < horizon:
+                horizon = remaining
+        if budget is not None and budget < horizon:
+            horizon = budget
+        if horizon < 2:
+            return 0
+        # --- Bound (1): the memory backend's steady-state promise.
+        plan = engine.memory.decode_fast_path(batch)
+        if plan is None:
+            return 0
+        if plan.horizon < horizon:
+            horizon = plan.horizon
+        if horizon < 2:
+            return 0
+        # --- Bound (4): next arrival / caller deadline, checked live.
+        stop_time = deadline
+        if engine._pending:
+            first_arrival = engine._pending[0].arrival_time
+            if first_arrival < stop_time:
+                stop_time = first_arrival
+
+        # Constant terms of the iteration-latency expression, produced
+        # by the same calls (and therefore the same floats) as
+        # LLMEngine._run_decode.
+        batch_size = len(batch)
+        linear = linear_decode_time(shard, config.gpu, batch_size)
+        kernel = engine.decode_kernel
+        # Resolve the block size and bind the library implementation
+        # once per stretch; decode_time_total would re-validate both on
+        # every iteration.
+        resolved_block = kernel.validate_block_size(
+            engine._block_size_for(kernel)
+        )
+        decode_fn = kernel._decode_time_total
+        cpu = config.iteration_cpu_overhead
+        per_seq = config.per_seq_cpu_overhead * batch_size
+        overhead = plan.per_iteration_overhead
+        has_hooks = plan.has_hooks
+
+        clock = engine.clock
+        start = clock.now
+        now = start
+        last_step_now = start
+        latency_sum = 0.0
+        #: Exact per-iteration latencies: downstream sums must add these
+        #: (not stretch subtotals) to reproduce the per-iteration loop's
+        #: float association bit for bit.
+        latencies: List[float] = []
+        record_latency = latencies.append
+        total_tokens = 0
+        for request in batch:
+            total_tokens += request.context_len
+
+        executed = 0
+        while executed < horizon:
+            if now >= stop_time:
+                break
+            attention = decode_fn(
+                shard, total_tokens, batch_size, resolved_block
+            )
+            fw = overhead if overhead is not None else plan.overhead_at(executed)
+            # Same left-to-right association as _run_decode's sum.
+            compute = linear + attention + fw + cpu + per_seq
+            last_step_now = now
+            new_now = now + compute
+            # The slow path records latency as (now + compute) - now.
+            latency = new_now - now
+            record_latency(latency)
+            latency_sum += latency
+            now = new_now
+            executed += 1
+            total_tokens += batch_size
+            if has_hooks and not plan.on_iteration(executed - 1, compute):
+                break
+
+        if executed == 0:
+            return 0
+
+        clock.jump_to(now)
+        for request in batch:
+            request.generated += executed
+        plan.commit(executed, last_step_now)
+        engine.metrics.record(
+            IterationRecord(
+                start_time=start,
+                phase="decode",
+                batch_size=batch_size,
+                latency=latency_sum,
+                alloc_sync=0.0,
+                tokens=executed * batch_size,
+                iterations=executed,
+                latencies=tuple(latencies),
+            )
+        )
+        engine._retire_finished()
+        return executed

@@ -47,9 +47,9 @@ def _base_config(**overrides) -> EngineConfig:
     return EngineConfig(**defaults)
 
 
-def _monolithic() -> RunReport:
+def _monolithic(**config) -> RunReport:
     """Plain vAttention FCFS serving under Poisson arrivals."""
-    engine = LLMEngine(_base_config())
+    engine = LLMEngine(_base_config(**config))
     trace = fixed_trace(
         count=12,
         prompt_len=3_000,
@@ -60,9 +60,9 @@ def _monolithic() -> RunReport:
     return engine.run()
 
 
-def _chunked() -> RunReport:
+def _chunked(**config) -> RunReport:
     """FCFS with Sarathi-style chunking through the legacy config knob."""
-    engine = LLMEngine(_base_config(prefill_chunk_size=2_048))
+    engine = LLMEngine(_base_config(prefill_chunk_size=2_048, **config))
     trace = fixed_trace(
         count=6,
         prompt_len=9_000,
@@ -73,7 +73,7 @@ def _chunked() -> RunReport:
     return engine.run()
 
 
-def _paged() -> RunReport:
+def _paged(**config) -> RunReport:
     """FCFS on the PagedAttention backend (paged kernels)."""
     engine = LLMEngine(
         _base_config(
@@ -81,6 +81,7 @@ def _paged() -> RunReport:
             prefill_kernel="fa2_paged",
             decode_kernel="fa2_paged",
             block_size=256,
+            **config,
         )
     )
     trace = fixed_trace(
@@ -93,9 +94,9 @@ def _paged() -> RunReport:
     return engine.run()
 
 
-def _prefix_cached() -> RunReport:
+def _prefix_cached(**config) -> RunReport:
     """FCFS with the radix prefix cache on a shared-prefix trace."""
-    engine = LLMEngine(_base_config(enable_prefix_cache=True))
+    engine = LLMEngine(_base_config(enable_prefix_cache=True, **config))
     trace = shared_prefix_trace(
         count=16,
         sharing_factor=4,
@@ -107,12 +108,12 @@ def _prefix_cached() -> RunReport:
     return engine.run()
 
 
-def _preempting() -> RunReport:
+def _preempting(**config) -> RunReport:
     """FCFS under memory pressure: preemptions and re-admissions."""
     from repro.units import GB
 
     engine = LLMEngine(
-        _base_config(max_batch_size=6, kv_budget_bytes=1 * GB)
+        _base_config(max_batch_size=6, kv_budget_bytes=1 * GB, **config)
     )
     trace = fixed_trace(
         count=8,
@@ -124,7 +125,12 @@ def _preempting() -> RunReport:
     return engine.run()
 
 
-#: Scenario name -> zero-argument runner returning a RunReport.
+#: Scenario name -> runner returning a RunReport. Runners forward
+#: keyword overrides into the EngineConfig; the golden file captures
+#: the legacy per-iteration loop, so byte-identity tests run them with
+#: ``fast_forward=False`` while the equivalence tests run the same
+#: scenarios with ``fast_forward=True`` and compare against the same
+#: golden through :func:`summarize`.
 SCENARIOS = {
     "monolithic_vattention": _monolithic,
     "chunked_prefill": _chunked,
@@ -162,16 +168,20 @@ def canonicalize(report: RunReport) -> Dict:
         )
     iterations: List[Dict] = []
     for record in report.metrics.iterations:
-        iterations.append(
-            {
-                "start": num(record.start_time),
-                "phase": record.phase,
-                "batch": record.batch_size,
-                "latency": num(record.latency),
-                "alloc_sync": num(record.alloc_sync),
-                "tokens": record.tokens,
-            }
-        )
+        entry = {
+            "start": num(record.start_time),
+            "phase": record.phase,
+            "batch": record.batch_size,
+            "latency": num(record.latency),
+            "alloc_sync": num(record.alloc_sync),
+            "tokens": record.tokens,
+        }
+        # Only fast-forwarded stretches carry these keys, so legacy-loop
+        # canonicalizations stay byte-compatible with the stored golden.
+        if record.iterations != 1:
+            entry["iterations"] = record.iterations
+            entry["latencies"] = [num(lat) for lat in record.iteration_latencies]
+        iterations.append(entry)
     return {
         "start": num(report.start_time),
         "end": num(report.end_time),
@@ -180,9 +190,59 @@ def canonicalize(report: RunReport) -> Dict:
     }
 
 
+def summarize(canonical: Dict) -> Dict:
+    """Reduce a canonical report to its grouping-invariant content.
+
+    Everything here must be *identical* between a legacy per-iteration
+    run and a fast-forwarded run of the same scenario: the full
+    request-level timing data, the report window, and per-phase totals.
+    Latency sums expand fast-forwarded stretches to their per-iteration
+    values and accumulate left-to-right in record order — the identical
+    float additions of the per-iteration path — so the totals match
+    bit-for-bit, not approximately.
+    """
+    phases: Dict[str, Dict] = {}
+    for record in canonical["iterations"]:
+        totals = phases.setdefault(
+            record["phase"],
+            {"latency": 0.0, "alloc_sync": 0.0, "tokens": 0, "iterations": 0},
+        )
+        for latency in record.get("latencies", [record["latency"]]):
+            totals["latency"] += float(latency)
+        totals["alloc_sync"] += float(record["alloc_sync"])
+        totals["tokens"] += record["tokens"]
+        totals["iterations"] += record.get("iterations", 1)
+    for totals in phases.values():
+        totals["latency"] = repr(totals["latency"])
+        totals["alloc_sync"] = repr(totals["alloc_sync"])
+    return {
+        "start": canonical["start"],
+        "end": canonical["end"],
+        "requests": canonical["requests"],
+        "phases": phases,
+    }
+
+
+def iteration_series(canonical: Dict) -> List:
+    """Expand a canonical report to one (phase, latency) per iteration.
+
+    Fast-forwarded stretches expand through their stored per-iteration
+    latencies, so a fast run's series must equal the legacy run's
+    entry for entry — the strictest grouping-invariant comparison.
+    """
+    series: List = []
+    for record in canonical["iterations"]:
+        for latency in record.get("latencies", [record["latency"]]):
+            series.append((record["phase"], latency))
+    return series
+
+
 def capture() -> Dict[str, Dict]:
-    """Run every scenario and canonicalize its report."""
-    return {name: canonicalize(run()) for name, run in SCENARIOS.items()}
+    """Run every scenario on the legacy loop and canonicalize it."""
+    return {
+        name: canonicalize(run(fast_forward=False))
+        for name, run in SCENARIOS.items()
+    }
 
 
 def main() -> None:

@@ -1,0 +1,128 @@
+"""Decode fast-forwarding is invisible in every report.
+
+Two layers of enforcement:
+
+* The FCFS golden scenarios (captured from the legacy per-iteration
+  loop, ``tests/golden/fcfs_reports.json``) re-run with
+  ``fast_forward=True`` must reproduce the golden's request-level
+  timing byte-for-byte and its per-phase totals bit-for-bit — only the
+  record *grouping* may differ.
+* An on/off sweep over every engine-driven experiment in the catalogue:
+  each driver runs once with fast-forwarding and once without (flipped
+  through the module default), and the experiment's own output rows
+  must compare equal — floats included, no tolerance. Experiments that
+  never construct a serving engine (pure cost-model tables) have
+  nothing to sweep; the two that pin ``fast_forward=False`` internally
+  (fig12, ext-chunked: their *subject* is the per-iteration series)
+  still run to prove the pin holds.
+"""
+
+import json
+
+import pytest
+
+import fcfs_golden
+import repro.serving.engine as engine_module
+from repro.experiments import (
+    ext_cluster_router,
+    ext_prefix_cache,
+    ext_sched_policy,
+    ext_swap_policy,
+    ext_uvm_limitations,
+    fig08_decode_throughput,
+    fig09_offline_throughput,
+    fig10_online_latency,
+    fig11_fa3_portability,
+    fig12_overlap_ablation,
+    fig15_max_batch_size,
+)
+from repro.models.zoo import YI_6B
+from repro.units import MB
+
+
+# ----------------------------------------------------------------------
+# Golden scenarios with the fast path on
+# ----------------------------------------------------------------------
+class TestGoldenEquivalence:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(fcfs_golden.GOLDEN_PATH) as handle:
+            return json.load(handle)
+
+    @pytest.mark.parametrize("scenario", sorted(fcfs_golden.SCENARIOS))
+    def test_fast_forward_matches_golden(self, golden, scenario):
+        live = fcfs_golden.canonicalize(
+            fcfs_golden.SCENARIOS[scenario](fast_forward=True)
+        )
+        assert fcfs_golden.summarize(live) == fcfs_golden.summarize(
+            golden[scenario]
+        )
+        # Strongest form: the per-iteration latency series (stretches
+        # expanded through their stored values) is byte-identical to
+        # the legacy loop's, entry for entry.
+        assert fcfs_golden.iteration_series(live) == (
+            fcfs_golden.iteration_series(golden[scenario])
+        )
+
+    @pytest.mark.parametrize("scenario", sorted(fcfs_golden.SCENARIOS))
+    def test_fast_forward_aggregates_records(self, golden, scenario):
+        """The fast path must actually engage — fewer records than
+        iterations — otherwise the equivalence above proves nothing."""
+        live = fcfs_golden.canonicalize(
+            fcfs_golden.SCENARIOS[scenario](fast_forward=True)
+        )
+        iterations = sum(
+            r.get("iterations", 1) for r in live["iterations"]
+        )
+        assert iterations == len(golden[scenario]["iterations"])
+        assert len(live["iterations"]) < iterations
+
+
+# ----------------------------------------------------------------------
+# The experiment-catalogue sweep
+# ----------------------------------------------------------------------
+#: Engine-driven catalogue entries, reduced to test scale. Catalogue
+#: entries absent here run no serving engine (kernel/cost-model tables:
+#: fig02-04, fig07, fig13, fig14, tab03-tab10, ext-sharing,
+#: ext-large-models) — there is no iteration loop to fast-forward.
+SWEEP = {
+    "fig08": lambda: fig08_decode_throughput.run(
+        models=[(YI_6B, 1)], batches=(1, 16), decode_iterations=60
+    ),
+    "fig09": lambda: fig09_offline_throughput.run(
+        models=[(YI_6B, 1)], request_count=12
+    ),
+    "fig10": lambda: fig10_online_latency.run(
+        grid=[(YI_6B, (2.0,))],
+        systems=("FA2_Paged", "FA2_vAttention"),
+        request_count=40,
+    ),
+    "fig11": lambda: fig11_fa3_portability.run(
+        models=[(YI_6B, 1)], request_count=10
+    ),
+    "fig12": lambda: fig12_overlap_ablation.run(decode_iterations=80),
+    "fig15": lambda: fig15_max_batch_size.run(
+        models=[(YI_6B, 1)], page_group_sizes=(2 * MB,), request_count=24
+    ),
+    "ext-prefix-cache": lambda: ext_prefix_cache.run(sharing_factors=(4,)),
+    "ext-sched-policy": lambda: ext_sched_policy.run(count=40, qps=6.0),
+    "ext-swap": lambda: ext_swap_policy.run(prompts=(8_192,)),
+    "ext-uvm": lambda: ext_uvm_limitations.run(request_count=60, qps=6.0),
+    "ext-cluster-router": lambda: ext_cluster_router.run(
+        replica_counts=(2,),
+        policies=("round_robin", "cache_aware"),
+        sharing_factors=(4,),
+        count=24,
+        qps=8.0,
+    ),
+}
+
+
+class TestCatalogueSweep:
+    @pytest.mark.parametrize("name", sorted(SWEEP))
+    def test_identical_on_and_off(self, name, monkeypatch):
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", True)
+        fast = SWEEP[name]()
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", False)
+        legacy = SWEEP[name]()
+        assert fast == legacy

@@ -72,7 +72,11 @@ class TestFcfsGoldenEquivalence:
 
     @pytest.mark.parametrize("scenario", sorted(fcfs_golden.SCENARIOS))
     def test_scenario_byte_identical(self, golden, scenario):
-        live = fcfs_golden.canonicalize(fcfs_golden.SCENARIOS[scenario]())
+        # fast_forward=False is the legacy loop; tests/test_fastforward_
+        # equiv.py checks the fast path against the same golden.
+        live = fcfs_golden.canonicalize(
+            fcfs_golden.SCENARIOS[scenario](fast_forward=False)
+        )
         assert json.dumps(live, sort_keys=True) == json.dumps(
             golden[scenario], sort_keys=True
         )
