@@ -20,7 +20,7 @@ Usage::
     python benchmarks/bench_speed.py --quick    # CI smoke: on beats off
 
 The full run asserts the fig09-class aggregate speedup meets the 5x
-target; ``--quick`` (the CI perf-smoke job) only asserts that
+target; ``--quick`` (CI's bench/speed job) only asserts that
 fast-forwarding beats the per-iteration loop on the decode-heavy case,
 keeping the job robust on noisy shared runners.
 """

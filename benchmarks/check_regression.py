@@ -1,0 +1,110 @@
+"""Perf-regression gate over the decode fast-forwarding speedups.
+
+Compares a fresh ``bench_speed.py`` result against the committed
+``BENCH_speed.json`` baseline so the PR-4 fast-forward wins cannot rot
+silently. The gated metric is the **fig09-class aggregate speedup**
+(the number PR 4's acceptance bar targets): it must stay within
+``--tolerance`` (default 30%) of the baseline. Per-case speedups get a
+looser ``--case-tolerance`` backstop — individual cases are noisy on
+shared CI runners (best-of-1 timings at ``--quick`` scale swing ±25%
+run to run), while a case losing *half* its speedup is rot, not noise.
+
+Compare like scale with like scale: quick runs against the committed
+``BENCH_speed_quick.json``, full runs (nightly) against the full-scale
+``BENCH_speed.json`` — quick and full speedups differ systematically,
+and a cross-scale comparison would eat most of the tolerance before
+any real regression. Case names match between any two runs except the
+cluster case, which encodes its fleet size and is simply skipped when
+absent from the baseline.
+
+Usage (the CI bench job)::
+
+    python benchmarks/bench_speed.py --quick --output fresh.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_speed_quick.json --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    case_tolerance: float,
+) -> list:
+    """Returns the list of human-readable regression findings."""
+    problems = []
+    base_agg = baseline["fig09_class_speedup"]
+    fresh_agg = fresh["fig09_class_speedup"]
+    floor = (1.0 - tolerance) * base_agg
+    if fresh_agg < floor:
+        problems.append(
+            f"fig09-class aggregate speedup regressed: {fresh_agg:.2f}x "
+            f"vs baseline {base_agg:.2f}x (floor {floor:.2f}x at "
+            f"{tolerance:.0%} tolerance)"
+        )
+    base_cases = {c["case"]: c["speedup"] for c in baseline["cases"]}
+    for case in fresh["cases"]:
+        name = case["case"]
+        if name not in base_cases:
+            continue  # e.g. the fleet-size-suffixed cluster case
+        case_floor = (1.0 - case_tolerance) * base_cases[name]
+        if case["speedup"] < case_floor:
+            problems.append(
+                f"{name}: speedup {case['speedup']:.2f}x vs baseline "
+                f"{base_cases[name]:.2f}x (floor {case_floor:.2f}x at "
+                f"{case_tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_speed.json",
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly measured JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional loss of the aggregate speedup",
+    )
+    parser.add_argument(
+        "--case-tolerance",
+        type=float,
+        default=0.50,
+        help="allowed fractional loss of any single case's speedup",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    problems = check(
+        baseline, fresh, args.tolerance, args.case_tolerance
+    )
+    if problems:
+        print("PERF REGRESSION:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate ok: aggregate {fresh['fig09_class_speedup']:.2f}x vs "
+        f"baseline {baseline['fig09_class_speedup']:.2f}x "
+        f"({len(fresh['cases'])} cases)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Run every extension benchmark and merge the results into one JSON.
+
+Each ``bench_ext_*.py`` under ``benchmarks/`` doubles as a standalone
+script that writes its sweep as JSON via ``--output``. This driver
+discovers them, runs each in a subprocess (so their argparse ``main()``
+entry points execute exactly as CI used to invoke them one by one), and
+merges the payloads into a single ``BENCH_all.json`` keyed by benchmark
+name — the one artifact the CI ``bench`` job uploads::
+
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_all.json
+    PYTHONPATH=src python benchmarks/run_all.py --only cluster autoscale
+
+A benchmark that exits nonzero fails the whole run (after every other
+benchmark has still been attempted, so one regression does not hide
+another); its entry in the merged JSON records the failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def discover() -> List[Path]:
+    """Every extension benchmark script, in name order."""
+    return sorted(BENCH_DIR.glob("bench_ext_*.py"))
+
+
+def bench_name(path: Path) -> str:
+    """``bench_ext_cluster.py`` -> ``ext_cluster``."""
+    return path.stem.removeprefix("bench_")
+
+
+def run_one(path: Path) -> Dict:
+    """Run one benchmark's standalone mode; returns its merged entry."""
+    with tempfile.TemporaryDirectory() as tmp:
+        output = Path(tmp) / "result.json"
+        env = dict(os.environ)
+        src = str(BENCH_DIR.parent / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [sys.executable, str(path), "--output", str(output)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        if proc.returncode != 0:
+            return {
+                "ok": False,
+                "returncode": proc.returncode,
+                # The tail is where asserts and tracebacks land.
+                "stderr_tail": proc.stderr[-2000:],
+            }
+        if not output.exists():
+            # Exit 0 with no JSON written is a regression in the
+            # benchmark's standalone mode, not a pass: recording it as
+            # ok would silently drop its data from the artifact.
+            return {
+                "ok": False,
+                "returncode": 0,
+                "stderr_tail": "benchmark exited 0 without writing "
+                "its --output JSON",
+            }
+        with open(output) as handle:
+            return {"ok": True, "result": json.load(handle)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_all.json", help="merged JSON path"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="substring filters on benchmark names (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    scripts = discover()
+    if args.only:
+        scripts = [
+            path
+            for path in scripts
+            if any(pattern in path.stem for pattern in args.only)
+        ]
+    if not scripts:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    merged: Dict[str, Dict] = {}
+    failures: List[str] = []
+    for path in scripts:
+        name = bench_name(path)
+        print(f"== {name} ({path.name})", flush=True)
+        entry = run_one(path)
+        merged[name] = entry
+        if entry["ok"]:
+            print("   ok")
+        else:
+            failures.append(name)
+            print(f"   FAILED (exit {entry['returncode']})")
+            print(entry["stderr_tail"], file=sys.stderr)
+
+    with open(args.output, "w") as handle:
+        json.dump(
+            {"benchmark": "run_all", "results": merged}, handle, indent=1
+        )
+        handle.write("\n")
+    print(
+        f"wrote {args.output}: {len(merged)} benchmarks, "
+        f"{len(failures)} failed"
+    )
+    if failures:
+        print(f"failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

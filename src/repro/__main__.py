@@ -162,6 +162,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "extension: scheduler policies (FCFS/SLA/hybrid)",
         "S7.4 regime", "benchmarks/bench_ext_sched.py",
     ),
+    "ext-autoscale": Experiment(
+        "ext_autoscale",
+        "extension: SLA-driven elastic fleet autoscaling",
+        "beyond the paper", "benchmarks/bench_ext_autoscale.py", heavy=True,
+    ),
     "ext-swap": Experiment(
         "ext_swap_policy",
         "extension: swap vs recompute",

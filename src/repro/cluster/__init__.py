@@ -1,7 +1,7 @@
 """Cluster serving: a replica fleet above the single-engine layer.
 
 The subsystem (see ``docs/architecture.md`` for its place in the
-stack) has four parts:
+stack) has five parts:
 
 * :mod:`repro.cluster.engine` — :class:`ClusterEngine` advances N
   independent :class:`~repro.serving.engine.LLMEngine` replicas on one
@@ -15,14 +15,34 @@ stack) has four parts:
   (longest radix-tree prefix match under a load-imbalance cap).
 * :mod:`repro.cluster.interconnect` — the NVLink/PCIe link KV
   migrations serialize over, charged per byte plus setup latency.
+* :mod:`repro.cluster.autoscaler` — elastic fleet sizing (see
+  ``docs/autoscaling.md``): pluggable policies (static / queue-depth
+  watermarks / rolling-p99-TTFT SLA) drive a PROVISIONING → WARMING →
+  SERVING → DRAINING → RETIRED replica lifecycle with cold-start
+  delays and graceful drains.
 * :mod:`repro.cluster.report` — :class:`ClusterReport` stitches
   logical requests back together across tiers (TTFT/e2e percentiles,
-  fleet throughput, per-replica balance, migration accounting).
+  fleet throughput, per-replica balance, migration accounting,
+  replica-seconds and the scale timeline).
 
-The measurement lives in the ``ext-cluster-router`` experiment and
-``benchmarks/bench_ext_cluster.py``.
+The measurements live in the ``ext-cluster-router`` and
+``ext-autoscale`` experiments (``benchmarks/bench_ext_cluster.py``,
+``benchmarks/bench_ext_autoscale.py``).
 """
 
+from .autoscaler import (
+    AUTOSCALER_POLICIES,
+    AutoscalerPolicy,
+    FleetView,
+    QueueDepthPolicy,
+    ReplicaState,
+    ScaleDecision,
+    ScaleEvent,
+    SlaPolicy,
+    SloSample,
+    StaticPolicy,
+    make_autoscaler,
+)
 from .engine import ClusterConfig, ClusterEngine, Replica
 from .interconnect import (
     INTERCONNECTS,
@@ -46,11 +66,22 @@ from .router import (
 )
 
 __all__ = [
+    "AUTOSCALER_POLICIES",
+    "AutoscalerPolicy",
     "ClusterConfig",
     "ClusterEngine",
     "ClusterReport",
+    "FleetView",
+    "QueueDepthPolicy",
     "Replica",
+    "ReplicaState",
     "RequestRecord",
+    "ScaleDecision",
+    "ScaleEvent",
+    "SlaPolicy",
+    "SloSample",
+    "StaticPolicy",
+    "make_autoscaler",
     "InterconnectSpec",
     "MigrationLink",
     "INTERCONNECTS",

@@ -30,6 +30,18 @@ re-materializes the migrated KV through the ordinary vAttention
 demand-mapping path (map/unmap of physical page-groups against the
 contiguous virtual tensor), so the handoff stresses exactly the
 machinery the paper builds.
+
+**Elastic mode** (``ClusterConfig.autoscaler`` other than ``static``)
+makes the fleet itself react to load: an :mod:`autoscaling policy
+<repro.cluster.autoscaler>` is evaluated at periodic ``SCALE_DECIDE``
+events and can provision replicas (which walk PROVISIONING → WARMING →
+SERVING through timed ``SCALE_UP`` events before the router sees them)
+or gracefully drain them (queued work re-routes — cached prefix KV
+migrating over the interconnect — in-flight work finishes, and the
+replica retires at its ``DRAIN_COMPLETE`` event). The router only ever
+selects among SERVING replicas. Under the default ``static`` policy no
+lifecycle event enters the timeline and the run is byte-identical to
+the fixed-fleet engine.
 """
 
 from __future__ import annotations
@@ -39,10 +51,19 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
+from ..metrics.rolling import RollingPercentileTracker
 from ..scheduling import validate_scheduler_policy
 from ..serving.engine import EngineConfig, LLMEngine
 from ..serving.request import Request
 from ..sim.events import EventKind, EventQueue
+from .autoscaler import (
+    FleetView,
+    ReplicaState,
+    ScaleEvent,
+    SloSample,
+    make_autoscaler,
+    validate_autoscaler_policy,
+)
 from .interconnect import INTERCONNECTS, MigrationLink, get_interconnect
 from .report import ClusterReport, RequestRecord
 from .router import ROUTING_POLICIES, ReplicaView, least_loaded, make_policy
@@ -74,6 +95,34 @@ class ClusterConfig:
     #: while the decode tier stays FCFS). ``None`` = same policy as the
     #: rest of the fleet.
     prefill_scheduler_policy: Optional[str] = None
+    #: Autoscaling policy (:mod:`repro.cluster.autoscaler` registry
+    #: name): "static" (fixed fleet, byte-identical to the
+    #: pre-autoscaler engine), "queue_depth" or "sla". ``n_replicas``
+    #: is the *initial* fleet; elastic policies move within
+    #: [min_replicas, max_replicas].
+    autoscaler: str = "static"
+    #: Fleet bounds for elastic policies (``None`` = ``n_replicas``,
+    #: i.e. no room to move on that side).
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
+    #: Seconds a provisioned replica spends in PROVISIONING (instance
+    #: acquisition + model-weight load) before it starts warming.
+    cold_start_seconds: float = 8.0
+    #: Seconds of WARMING (allocator/cache warm-up) before SERVING.
+    warmup_seconds: float = 2.0
+    #: Cadence of SCALE_DECIDE policy evaluations.
+    scale_decide_interval: float = 2.0
+    #: ``queue_depth`` policy watermarks (outstanding tokens per
+    #: serving replica).
+    queue_high_watermark: int = 16_384
+    queue_low_watermark: int = 2_048
+    #: ``sla`` policy: the p99-TTFT objective (required for "sla") and
+    #: its hysteresis/guard knobs.
+    slo_ttft: Optional[float] = None
+    drain_margin: float = 0.5
+    backlog_guard_tokens: int = 65_536
+    #: Rolling window the SLO tracker keeps TTFT completions over.
+    slo_window_seconds: float = 30.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -121,16 +170,81 @@ class ClusterConfig:
                 "replica engine config: without radix trees there is "
                 "nothing to probe"
             )
+        validate_autoscaler_policy(self.autoscaler)
+        if self.autoscaler != "static":
+            if self.disaggregated:
+                raise ConfigError(
+                    "elastic autoscaling over a disaggregated fleet is "
+                    "unsupported: per-tier scale decisions need their "
+                    "own policy wiring; run the tiers static"
+                )
+            if self.autoscaler == "sla" and self.slo_ttft is None:
+                raise ConfigError(
+                    "the sla autoscaler needs ClusterConfig.slo_ttft"
+                )
+            if self.cold_start_seconds < 0 or self.warmup_seconds < 0:
+                raise ConfigError("boot delays cannot be negative")
+            if self.scale_decide_interval <= 0:
+                raise ConfigError(
+                    "scale_decide_interval must be positive, got "
+                    f"{self.scale_decide_interval}"
+                )
+        low = self.resolved_min_replicas
+        high = self.resolved_max_replicas
+        if not 1 <= low <= self.n_replicas <= high:
+            raise ConfigError(
+                f"fleet bounds must satisfy 1 <= min ({low}) <= "
+                f"initial ({self.n_replicas}) <= max ({high})"
+            )
+
+    @property
+    def resolved_min_replicas(self) -> int:
+        """The lower fleet bound (``n_replicas`` when unset)."""
+        return (
+            self.n_replicas if self.min_replicas is None else self.min_replicas
+        )
+
+    @property
+    def resolved_max_replicas(self) -> int:
+        """The upper fleet bound (``n_replicas`` when unset)."""
+        return (
+            self.n_replicas if self.max_replicas is None else self.max_replicas
+        )
 
 
 class Replica(ReplicaView):
     """One engine replica plus the state the router may observe."""
 
-    def __init__(self, index: int, engine: LLMEngine, role: str) -> None:
+    def __init__(
+        self,
+        index: int,
+        engine: LLMEngine,
+        role: str,
+        state: ReplicaState = ReplicaState.SERVING,
+        provision_time: float = 0.0,
+    ) -> None:
         self.index = index
         self.engine = engine
         #: "serve" (aggregated), or "prefill" / "decode" (disaggregated).
         self.role = role
+        #: Lifecycle state; the router only sees SERVING replicas.
+        self.state = state
+        #: Birth of the replica-seconds meter (0.0 for the initial
+        #: fleet, the scale-up instant for provisioned replicas).
+        self.provision_time = provision_time
+        #: When the replica reached SERVING / began draining / retired.
+        self.serving_time: Optional[float] = (
+            provision_time if state is ReplicaState.SERVING else None
+        )
+        self.drain_time: Optional[float] = None
+        self.retire_time: Optional[float] = None
+        #: Guards the one-shot DRAIN_COMPLETE event.
+        self.drain_event_pushed = False
+
+    @property
+    def is_serving(self) -> bool:
+        """Whether the router may dispatch new work here."""
+        return self.state is ReplicaState.SERVING
 
     @property
     def outstanding_tokens(self) -> int:
@@ -215,6 +329,37 @@ class ClusterEngine:
         if config.disaggregated:
             for replica in self._route_targets:
                 replica.engine.on_retire = self._harvest
+        #: The resolved serve-tier engine config — scale-ups clone it.
+        self._fleet_config = fleet_config
+        self.autoscaler = make_autoscaler(
+            config.autoscaler,
+            high_watermark=config.queue_high_watermark,
+            low_watermark=config.queue_low_watermark,
+            slo_ttft=config.slo_ttft,
+            drain_margin=config.drain_margin,
+            backlog_guard_tokens=config.backlog_guard_tokens,
+        )
+        self._elastic = not self.autoscaler.is_static
+        #: Rolling TTFT window the SLO-driven decisions read.
+        self._slo_tracker = RollingPercentileTracker(
+            config.slo_window_seconds
+        )
+        #: Logical requests whose TTFT already entered the tracker.
+        self._ttft_fed: set = set()
+        self._scale_events: List[ScaleEvent] = []
+        self._slo_samples: List[SloSample] = []
+        #: Most replicas simultaneously SERVING (the initial fleet all
+        #: serves from t=0; only SERVING transitions can raise it).
+        self._peak_serving = self.n_serving
+        #: request_id -> (bytes, wait, seconds) of a drain-time prefix-KV
+        #: migration, applied to the record the re-route creates.
+        self._drain_migrations: Dict[str, tuple] = {}
+        #: request_id -> original arrival time of a drain-withdrawn
+        #: request. Its ``arrival_time`` is advanced to the re-dispatch
+        #: instant (an engine must never simulate work before the event
+        #: that delivered it); the record keeps the original so TTFT
+        #: still charges the full disruption to the user's wait.
+        self._rerouted_arrivals: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Submission
@@ -254,18 +399,38 @@ class ClusterEngine:
         With decode fast-forwarding inside each engine, a ``run_until``
         sweep costs one analytic stretch per replica instead of one
         Python loop per token — the fleet advances from event to event.
+
+        An elastic autoscaler adds three event kinds: ``SCALE_DECIDE``
+        (periodic policy evaluation — the run-ahead horizon also stops
+        there, so the policy observes fleet state *at* the decision
+        instant, not after a sweep past it), ``SCALE_UP`` (a booting
+        replica's timed PROVISIONING → WARMING → SERVING transitions)
+        and ``DRAIN_COMPLETE`` (a draining replica emptied and
+        retires). Under the static policy none of these are scheduled
+        and the loop below reduces exactly to the fixed-fleet one.
         """
         self._started = True
         self._events = EventQueue()
         for request in sorted(self._submitted, key=lambda r: r.arrival_time):
             self._events.push(request.arrival_time, EventKind.ARRIVAL, request)
+        if self._elastic and self._submitted:
+            first = min(r.arrival_time for r in self._submitted)
+            self._events.push(
+                first + self.config.scale_decide_interval,
+                EventKind.SCALE_DECIDE,
+            )
         while True:
-            arrival_horizon = self._events.next_time(EventKind.ARRIVAL)
+            horizon = min(
+                self._events.next_time(EventKind.ARRIVAL),
+                self._events.next_time(EventKind.SCALE_DECIDE),
+            )
             # Event sources first: every migration born before the next
             # arrival must be on the queue before the fleet advances.
             for replica in self._route_targets:
-                replica.engine.run_until(arrival_horizon)
+                replica.engine.run_until(horizon)
             self._schedule_transfers()
+            if self._elastic:
+                self._check_drain_completions()
             head = self._events.peek()
             if head is None:
                 break
@@ -275,26 +440,47 @@ class ClusterEngine:
             for event in self._events.pop_due(now):
                 if event.kind is EventKind.ARRIVAL:
                     self._route(event.payload)
-                else:
+                elif event.kind is EventKind.MIGRATION:
                     self._dispatch_migration(event.payload)
+                elif event.kind is EventKind.SCALE_UP:
+                    self._dispatch_scale_up(event.time, event.payload)
+                elif event.kind is EventKind.SCALE_DECIDE:
+                    self._dispatch_scale_decide(event.time)
+                else:
+                    self._dispatch_drain_complete(event.time, event.payload)
         # Decode replicas never create events; they drain last.
         for replica in self.replicas:
             replica.engine.run_until(math.inf)
+        if self._elastic:
+            self._finalize_drains()
         return self._build_report()
 
     # ------------------------------------------------------------------
     # Routing and KV migration
     # ------------------------------------------------------------------
     def _route(self, request: Request) -> None:
-        replica = self.router.select(request, self._route_targets)
+        # Only SERVING replicas are routable: a booting replica has no
+        # loaded weights yet and a draining one admits nothing new. For
+        # a static fleet every target is SERVING and the filter is a
+        # no-op (the router sees the identical sequence it always did).
+        targets = [r for r in self._route_targets if r.is_serving]
+        replica = self.router.select(request, targets)
         record = RequestRecord(
             request_id=request.request_id,
-            arrival_time=request.arrival_time,
+            arrival_time=self._rerouted_arrivals.pop(
+                request.request_id, request.arrival_time
+            ),
             prompt_len=request.prompt_len,
             max_new_tokens=request.max_new_tokens,
             replica=replica.index,
             serve_request=request,
         )
+        migration = self._drain_migrations.pop(request.request_id, None)
+        if migration is not None:
+            # The re-routed request's cached prefix KV crossed the link
+            # when its original replica drained; bill the journey.
+            record.migrated_bytes, record.migration_wait = migration[:2]
+            record.migration_seconds = migration[2]
         if self.config.disaggregated:
             # The prefill tier runs the prompt and produces exactly the
             # first token; the rest of the decode happens post-handoff.
@@ -382,6 +568,249 @@ class ClusterEngine:
         replica.engine.submit([migration.decode_request])
 
     # ------------------------------------------------------------------
+    # Elastic scaling: lifecycle events and the decision loop
+    # ------------------------------------------------------------------
+    @property
+    def n_serving(self) -> int:
+        """Replicas currently in the routing set."""
+        return sum(1 for r in self.replicas if r.is_serving)
+
+    def _timeline(
+        self, time: float, action: str, replica: int, reason: str = ""
+    ) -> None:
+        self._scale_events.append(
+            ScaleEvent(
+                time=time,
+                action=action,
+                replica=replica,
+                n_serving=self.n_serving,
+                reason=reason,
+            )
+        )
+
+    def _feed_ttft_tracker(self, now: float) -> None:
+        """Feed first-token completions born by ``now`` to the rolling
+        window. Completions stamped past ``now`` (a replica's
+        one-iteration overshoot) wait for the decide that covers them,
+        keeping the tracker's time order intact."""
+        fresh = []
+        for record in self._records:
+            request = record.serve_request
+            if (
+                request.first_token_time is not None
+                and request.first_token_time <= now
+                and record.request_id not in self._ttft_fed
+            ):
+                self._ttft_fed.add(record.request_id)
+                fresh.append((request.first_token_time, record.ttft))
+        fresh.sort()
+        for time, ttft in fresh:
+            self._slo_tracker.observe(time, ttft)
+
+    def _fleet_view(self, now: float) -> FleetView:
+        serving = [r for r in self.replicas if r.is_serving]
+        n_booting = sum(
+            1
+            for r in self.replicas
+            if r.state
+            in (ReplicaState.PROVISIONING, ReplicaState.WARMING)
+        )
+        n_draining = sum(
+            1 for r in self.replicas if r.state is ReplicaState.DRAINING
+        )
+        slo = self.config.slo_ttft
+        return FleetView(
+            now=now,
+            n_serving=len(serving),
+            n_booting=n_booting,
+            n_draining=n_draining,
+            min_replicas=self.config.resolved_min_replicas,
+            max_replicas=self.config.resolved_max_replicas,
+            outstanding_tokens=sum(
+                r.outstanding_tokens for r in serving
+            ),
+            rolling_p99_ttft=self._slo_tracker.percentile(99.0, now),
+            rolling_attainment=(
+                None
+                if slo is None
+                else self._slo_tracker.attainment(slo, now)
+            ),
+        )
+
+    def _dispatch_scale_decide(self, now: float) -> None:
+        self._feed_ttft_tracker(now)
+        view = self._fleet_view(now)
+        self._slo_samples.append(
+            SloSample(
+                time=now,
+                p99_ttft=view.rolling_p99_ttft,
+                attainment=view.rolling_attainment,
+                n_serving=view.n_serving,
+            )
+        )
+        decision = self.autoscaler.decide(view)
+        if decision.delta > 0:
+            headroom = view.max_replicas - view.n_live
+            for _ in range(min(decision.delta, headroom)):
+                self._provision_replica(now, decision.reason)
+        elif decision.delta < 0:
+            shrinkable = view.n_serving - view.min_replicas
+            for _ in range(min(-decision.delta, shrinkable)):
+                self._begin_replica_drain(now, decision.reason)
+        # The control loop runs while there is anything left to react
+        # to; once arrivals are exhausted and the fleet is empty, the
+        # timeline must drain so the run can end.
+        if self._events.next_time(EventKind.ARRIVAL) < math.inf or any(
+            r.engine.has_work() for r in self.replicas
+        ):
+            self._events.push(
+                now + self.config.scale_decide_interval,
+                EventKind.SCALE_DECIDE,
+            )
+
+    def _provision_replica(self, now: float, reason: str) -> None:
+        replica = Replica(
+            index=len(self.replicas),
+            engine=LLMEngine(self._fleet_config),
+            role="serve",
+            state=ReplicaState.PROVISIONING,
+            provision_time=now,
+        )
+        self.replicas.append(replica)
+        self._route_targets.append(replica)
+        self._timeline(now, "provision", replica.index, reason)
+        boot = now + self.config.cold_start_seconds
+        self._events.push(
+            boot, EventKind.SCALE_UP, (replica, ReplicaState.WARMING)
+        )
+        self._events.push(
+            boot + self.config.warmup_seconds,
+            EventKind.SCALE_UP,
+            (replica, ReplicaState.SERVING),
+        )
+
+    def _dispatch_scale_up(self, now: float, payload: tuple) -> None:
+        replica, target = payload
+        replica.state = target
+        if target is ReplicaState.SERVING:
+            replica.serving_time = now
+            self._peak_serving = max(self._peak_serving, self.n_serving)
+        self._timeline(now, target.value, replica.index)
+
+    def _begin_replica_drain(self, now: float, reason: str) -> None:
+        candidates = [r for r in self._route_targets if r.is_serving]
+        if len(candidates) <= 1:
+            return  # never drain the last routable replica
+        # Least backlog first (cheapest to finish), youngest on ties —
+        # elastic capacity leaves in reverse order of arrival.
+        victim = min(
+            candidates,
+            key=lambda r: (r.engine.outstanding_tokens, -r.index),
+        )
+        victim.state = ReplicaState.DRAINING
+        victim.drain_time = now
+        withdrawn = victim.engine.begin_drain()
+        self._timeline(now, "drain", victim.index, reason)
+        shard = self.config.engine.shard
+        for request in withdrawn:
+            record = next(
+                r
+                for r in self._records
+                if r.serve_request is request
+            )
+            self._records.remove(record)
+            when = now
+            # A twice-drained request already carries KV from its first
+            # migration (prefilled_tokens): only the *additional*
+            # prefix tokens this replica's cache holds cross the link,
+            # and billing accumulates across drains so the final record
+            # still accounts every transfer the request caused.
+            cached = victim.probe_prefix(request)
+            extra = cached - request.prefilled_tokens
+            if extra > 0:
+                # The prefix KV this request would have hit on the
+                # draining replica follows it across the interconnect.
+                # Delivery works like a disaggregation handoff: the
+                # request arrives at its new replica already carrying
+                # the migrated tokens (prefilled_tokens), the target
+                # demand-maps their rows like any resident KV, and the
+                # prefill computes only the uncached suffix — the
+                # transfer buys real compute, it is not just billed.
+                nbytes = extra * shard.kv_bytes_per_token
+                start, done = self.link.transfer(now, nbytes)
+                billed_bytes = record.migrated_bytes + nbytes
+                billed_wait = record.migration_wait + (start - now)
+                billed_seconds = record.migration_seconds + (done - start)
+                self._drain_migrations[request.request_id] = (
+                    billed_bytes,
+                    billed_wait,
+                    billed_seconds,
+                )
+                request.prefilled_tokens = cached
+                request.cached_prefix_tokens = cached
+                when = done
+            elif record.migrated_bytes:
+                # No new transfer, but the first drain's billing must
+                # survive onto the record the re-route creates.
+                self._drain_migrations[request.request_id] = (
+                    record.migrated_bytes,
+                    record.migration_wait,
+                    record.migration_seconds,
+                )
+            # Causality: the request re-enters the timeline at the
+            # re-dispatch (or KV-landing) instant — never at its
+            # original arrival, which a lagging replica clock would
+            # happily serve in the past. The record keeps the original
+            # arrival (the *record's*, which survives repeated drains)
+            # so TTFT still spans the whole disruption.
+            self._rerouted_arrivals[request.request_id] = (
+                record.arrival_time
+            )
+            request.arrival_time = when
+            self._events.push(when, EventKind.ARRIVAL, request)
+
+    def _check_drain_completions(self) -> None:
+        """Push DRAIN_COMPLETE for draining replicas that emptied."""
+        for replica in self.replicas:
+            if (
+                replica.state is ReplicaState.DRAINING
+                and not replica.drain_event_pushed
+                and not replica.engine.has_work()
+            ):
+                replica.drain_event_pushed = True
+                done = max(replica.drain_time, replica.engine.clock.now)
+                self._events.push(done, EventKind.DRAIN_COMPLETE, replica)
+
+    def _dispatch_drain_complete(
+        self, now: float, replica: Replica
+    ) -> None:
+        replica.state = ReplicaState.RETIRED
+        replica.retire_time = now
+        self._timeline(now, "retire", replica.index)
+
+    def _finalize_drains(self) -> None:
+        """Retire drains the event loop ended before acknowledging."""
+        for replica in self.replicas:
+            if replica.state is ReplicaState.DRAINING:
+                done = max(replica.drain_time, replica.engine.clock.now)
+                replica.state = ReplicaState.RETIRED
+                replica.retire_time = done
+                self._timeline(done, "retire", replica.index)
+
+    def _replica_seconds(self, end: float) -> float:
+        """Fleet cost: provisioned-to-retired seconds summed over
+        replicas (a booting or draining instance is still paid for)."""
+        total = 0.0
+        for replica in self.replicas:
+            death = (
+                replica.retire_time
+                if replica.retire_time is not None
+                else end
+            )
+            total += max(0.0, death - replica.provision_time)
+        return total
+
+    # ------------------------------------------------------------------
     def _build_report(self) -> ClusterReport:
         for record in self._records:
             record.cached_prefix_tokens = (
@@ -392,7 +821,7 @@ class ClusterEngine:
             default=0.0,
         )
         return ClusterReport(
-            n_replicas=self.config.n_replicas,
+            n_replicas=len(self.replicas),
             routing_policy=self.config.routing_policy,
             disaggregated=self.config.disaggregated,
             interconnect=self.config.interconnect,
@@ -406,4 +835,9 @@ class ClusterEngine:
             migrations=self.link.transfers,
             migrated_bytes=self.link.migrated_bytes,
             migration_seconds=self.link.busy_seconds,
+            autoscaler=self.config.autoscaler,
+            replica_seconds=self._replica_seconds(end),
+            scale_events=tuple(self._scale_events),
+            slo_samples=tuple(self._slo_samples),
+            peak_serving=self._peak_serving,
         )

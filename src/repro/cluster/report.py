@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..metrics.collector import RunReport
 from ..metrics.stats import mean, percentile
 from ..serving.request import Request
+from .autoscaler import ScaleEvent, SloSample
 
 
 @dataclass
@@ -91,6 +92,17 @@ class ClusterReport:
     migrations: int = 0
     migrated_bytes: int = 0
     migration_seconds: float = 0.0
+    #: Autoscaling: policy name, paid replica-time, the lifecycle
+    #: timeline, and the rolling-SLO series sampled at each decision.
+    #: ``static`` runs carry an empty timeline and ``replica_seconds ==
+    #: n_replicas * makespan``.
+    autoscaler: str = "static"
+    replica_seconds: float = 0.0
+    scale_events: Sequence[ScaleEvent] = ()
+    slo_samples: Sequence[SloSample] = ()
+    #: Most replicas simultaneously SERVING at any instant, tracked by
+    #: the engine (0 = not recorded: fall back to the fleet size).
+    peak_serving: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -185,3 +197,38 @@ class ClusterReport:
         """Mean link-queueing delay per migrated request."""
         waits = [r.migration_wait for r in self.records if r.migrated_bytes]
         return mean(waits) if waits else 0.0
+
+    # ------------------------------------------------------------------
+    # Elastic-fleet accounting
+    # ------------------------------------------------------------------
+    @property
+    def scale_up_count(self) -> int:
+        """Replicas provisioned during the run."""
+        return sum(1 for e in self.scale_events if e.action == "provision")
+
+    @property
+    def drain_count(self) -> int:
+        """Graceful drains started during the run."""
+        return sum(1 for e in self.scale_events if e.action == "drain")
+
+    @property
+    def peak_serving_replicas(self) -> int:
+        """Most replicas simultaneously SERVING at any instant.
+
+        Engine-tracked (the timeline alone cannot recover the *initial*
+        serving count — a run whose first event is a drain would
+        otherwise underreport). A static run's peak is its fleet size.
+        """
+        return self.peak_serving if self.peak_serving else self.n_replicas
+
+    def ttft_attainment(self, slo_ttft: float) -> float:
+        """Whole-run fraction of logical requests meeting the TTFT SLO.
+
+        This is the acceptance metric of the autoscaling experiment —
+        the rolling :attr:`slo_samples` series shows the same quantity
+        as the policy saw it mid-run.
+        """
+        ttfts = self.ttfts()
+        if not ttfts:
+            raise ValueError("no finished requests to judge the SLO on")
+        return sum(1 for t in ttfts if t <= slo_ttft) / len(ttfts)

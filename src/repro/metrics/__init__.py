@@ -2,6 +2,7 @@
 
 from .ascii_plot import bar_chart, cdf_plot, normalized_bars, sparkline
 from .collector import IterationRecord, MetricsCollector, RunReport
+from .rolling import RollingPercentileTracker
 from .stats import (
     cdf_at,
     cdf_points,
@@ -15,6 +16,7 @@ from .stats import (
 __all__ = [
     "IterationRecord",
     "MetricsCollector",
+    "RollingPercentileTracker",
     "RunReport",
     "bar_chart",
     "cdf_at",

@@ -1,0 +1,96 @@
+"""Rolling-window percentile tracking for live SLO monitoring.
+
+Summary statistics in :mod:`repro.metrics.stats` are whole-run
+aggregates; an autoscaling policy needs the *recent* tail instead — the
+p99 TTFT over the last W seconds of completions, which is what a
+production SLO dashboard shows and what scale decisions key off. A
+:class:`RollingPercentileTracker` keeps timestamped observations,
+prunes everything older than the window on each access, and answers
+percentile / attainment queries over what remains.
+
+Observations must arrive in non-decreasing time order (the simulation
+feeds completions as virtual time advances), which keeps pruning a
+popleft loop rather than a scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .stats import percentile
+
+
+class RollingPercentileTracker:
+    """Percentiles over the observations of a sliding time window.
+
+    ``window_seconds`` bounds how far back an observation stays
+    relevant; ``None`` disables pruning (the tracker degenerates to a
+    whole-run aggregator, useful as a control).
+    """
+
+    def __init__(self, window_seconds: Optional[float] = None) -> None:
+        if window_seconds is not None and window_seconds <= 0:
+            raise ConfigError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.window_seconds = window_seconds
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._last_time = float("-inf")
+        #: Observations ever fed (survives pruning).
+        self.total_observations = 0
+
+    def observe(self, time: float, value: float) -> None:
+        """Record ``value`` observed at simulated ``time``.
+
+        Times must be non-decreasing; the window prunes lazily on reads.
+        """
+        if time < self._last_time:
+            raise ConfigError(
+                f"observations must arrive in time order "
+                f"({time} after {self._last_time})"
+            )
+        self._last_time = time
+        self._samples.append((time, value))
+        self.total_observations += 1
+
+    def prune(self, now: float) -> None:
+        """Drop observations older than the window, as seen from ``now``."""
+        if self.window_seconds is None:
+            return
+        horizon = now - self.window_seconds
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    # ------------------------------------------------------------------
+    def values(self, now: Optional[float] = None) -> List[float]:
+        """The in-window observation values (pruned as of ``now``)."""
+        if now is not None:
+            self.prune(now)
+        return [value for _, value in self._samples]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float, now: Optional[float] = None
+                   ) -> Optional[float]:
+        """In-window percentile, ``None`` while the window is empty."""
+        values = self.values(now)
+        if not values:
+            return None
+        return percentile(values, q)
+
+    def attainment(
+        self, threshold: float, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Fraction of in-window observations at or under ``threshold``.
+
+        This is SLO attainment when the observations are latencies and
+        ``threshold`` is the objective; ``None`` while the window is
+        empty (no evidence either way).
+        """
+        values = self.values(now)
+        if not values:
+            return None
+        return sum(1 for v in values if v <= threshold) / len(values)

@@ -45,7 +45,8 @@ class FcfsPolicy(SchedulerPolicy):
     def next_admission(
         self, waiting: Sequence[Request], view: SchedulingView
     ) -> Optional[Request]:
-        return waiting[0] if waiting else None
+        candidates = self.admissible(waiting, view)
+        return candidates[0] if candidates else None
 
     def plan_iteration(
         self, running: Sequence[Request], view: SchedulingView

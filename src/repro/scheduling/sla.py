@@ -67,9 +67,10 @@ class SlaAwarePolicy(SchedulerPolicy):
     def next_admission(
         self, waiting: Sequence[Request], view: SchedulingView
     ) -> Optional[Request]:
-        if not waiting:
+        candidates = self.admissible(waiting, view)
+        if not candidates:
             return None
-        return min(waiting, key=self._urgency)
+        return min(candidates, key=self._urgency)
 
     def plan_iteration(
         self, running: Sequence[Request], view: SchedulingView

@@ -254,6 +254,9 @@ class LLMEngine:
         #: cluster layer uses this to hand prefill-replica KV off to a
         #: decode replica at the simulated time the prefill completed.
         self.on_retire: Optional[Callable[[Request], None]] = None
+        #: Graceful-shutdown mode (:meth:`begin_drain`): no *new* work
+        #: is admitted; in-flight and preempted requests still finish.
+        self.draining = False
 
     # ------------------------------------------------------------------
     def _build_memory(self) -> MemoryBackend:
@@ -447,6 +450,30 @@ class LLMEngine:
         """Whether any submitted request has not yet finished."""
         return bool(self._pending or self._waiting or self._running)
 
+    def begin_drain(self) -> List[Request]:
+        """Enter graceful shutdown; returns the withdrawn queued work.
+
+        Every request that has never been admitted — still pending its
+        arrival or sitting in the waiting queue — is removed from this
+        engine (and from its report) so the caller can re-route it to a
+        replica that will outlive it. Requests that already ran stay:
+        the running batch finishes here, and preemption victims may
+        re-enter admission (:meth:`SchedulerPolicy.admissible`) so no
+        in-flight work is stranded. Idempotent; later submissions are
+        rejected by the cluster layer routing around this replica.
+        """
+        self.draining = True
+        withdrawn: List[Request] = []
+        for queue in (self._pending, self._waiting):
+            for request in list(queue):
+                if request.admitted_time is None:
+                    queue.remove(request)
+                    withdrawn.append(request)
+        for request in withdrawn:
+            self._all_requests.remove(request)
+        withdrawn.sort(key=lambda r: (r.arrival_time, r.request_id))
+        return withdrawn
+
     @property
     def outstanding_tokens(self) -> int:
         """Tokens of work this engine still owes: un-prefilled prompt
@@ -474,6 +501,7 @@ class LLMEngine:
             max_batch_size=self.config.max_batch_size,
             prefill_chunk_size=self.config.prefill_chunk_size,
             cached_prefix_tokens=self._probe_cached_prefix,
+            draining=self.draining,
         )
 
     def _probe_cached_prefix(self, request: Request) -> int:
@@ -502,8 +530,19 @@ class LLMEngine:
 
     def _admit(self) -> None:
         while self._waiting and len(self._running) < self.config.max_batch_size:
+            waiting: Sequence[Request] = self._waiting
+            if self.draining:
+                # Engine-enforced drain semantics (policies see the
+                # same rule through SchedulerPolicy.admissible, but a
+                # custom policy must not be able to start fresh work on
+                # a draining replica): only previously-admitted work —
+                # preemption victims whose in-flight requests must
+                # still finish — may re-enter.
+                waiting = [
+                    r for r in self._waiting if r.admitted_time is not None
+                ]
             request = self.scheduler.next_admission(
-                self._waiting, self._scheduling_view()
+                waiting, self._scheduling_view()
             )
             if request is None or not self.memory.can_admit(request):
                 break

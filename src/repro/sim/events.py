@@ -1,16 +1,25 @@
 """Time-ordered event queue for next-event simulation loops.
 
 The cluster tier advances N replica engines against one shared virtual
-timeline. Its events are *arrivals* (a logical request becomes routable)
-and *migrations* (a prefill's KV cache finishes crossing the
-interconnect and its decode continuation becomes schedulable). The loop
-repeatedly pops the earliest event, advances the replicas that must be
-current for the dispatch decision, and dispatches.
+timeline. Its events are *arrivals* (a logical request becomes
+routable), *migrations* (a prefill's KV cache finishes crossing the
+interconnect and its decode continuation becomes schedulable), and —
+with an elastic :mod:`autoscaling policy <repro.cluster.autoscaler>` —
+replica-lifecycle events: ``SCALE_UP`` (a provisioned replica finishes
+a boot stage), ``SCALE_DECIDE`` (the policy's periodic evaluation
+point) and ``DRAIN_COMPLETE`` (a draining replica's in-flight work has
+finished and it retires). The loop repeatedly pops the earliest event,
+advances the replicas that must be current for the dispatch decision,
+and dispatches.
 
-Ties are resolved deterministically: first by time, then by kind
-(arrivals before migrations, preserving the pre-rewrite dispatch order
-of :class:`~repro.cluster.engine.ClusterEngine`), then by insertion
-sequence — so two runs of the same trace pop events identically.
+Ties are resolved deterministically: first by time, then by kind —
+lifecycle transitions land before arrivals (a replica turning SERVING
+at an arrival instant is already routable), arrivals before migrations
+(preserving the pre-rewrite dispatch order of
+:class:`~repro.cluster.engine.ClusterEngine`), scale decisions after
+both (the policy observes the state the instant's traffic left behind)
+— then by insertion sequence, so two runs of the same trace pop events
+identically.
 """
 
 from __future__ import annotations
@@ -25,10 +34,17 @@ from typing import Any, List, Optional
 class EventKind(enum.IntEnum):
     """Event categories, ordered by dispatch priority at equal times."""
 
+    #: A provisioned replica completes a boot stage (PROVISIONING ->
+    #: WARMING, or WARMING -> SERVING and becomes routable).
+    SCALE_UP = 0
     #: A submitted request reaches its arrival time and gets routed.
-    ARRIVAL = 0
+    ARRIVAL = 1
     #: A KV migration lands on the decode tier and is dispatched.
-    MIGRATION = 1
+    MIGRATION = 2
+    #: The autoscaling policy's periodic evaluation point.
+    SCALE_DECIDE = 3
+    #: A draining replica's last in-flight request finished; it retires.
+    DRAIN_COMPLETE = 4
 
 
 @dataclass(frozen=True, order=True)
