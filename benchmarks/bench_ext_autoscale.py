@@ -81,7 +81,7 @@ def main() -> None:
         help="path the JSON results are written to",
     )
     args = parser.parse_args()
-    rows = _rows()
+    rows, reports = driver.run_with_reports()
     payload = {
         "experiment": "ext_autoscale",
         "requests": driver.REQUESTS,
@@ -90,6 +90,10 @@ def main() -> None:
         "fleet_bounds": [driver.MIN_REPLICAS, driver.MAX_REPLICAS],
         "sla_replica_second_savings": driver.replica_second_savings(rows),
         "rows": [dataclasses.asdict(row) for row in rows],
+        # Full fleet reports through the shared serialization path.
+        "reports": {
+            fleet: report.to_json() for fleet, report in reports.items()
+        },
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

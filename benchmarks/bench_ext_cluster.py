@@ -118,6 +118,11 @@ def main() -> None:
         "qps": driver.QPS,
         "routing": [dataclasses.asdict(row) for row in rows],
         "disaggregated": [dataclasses.asdict(row) for row in disagg],
+        # One representative cell's full fleet report through the
+        # shared serialization path (ClusterReport.to_json).
+        "example_report": driver.serve(
+            2, "cache_aware", sharing_factor=8
+        ).to_json(),
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -204,6 +204,12 @@ def list_experiments() -> None:
             f"  {experiment.aliases(name):<42} "
             f"{experiment.description}{marker}"
         )
+    print(
+        "\nrun flags: --telemetry (sim-time metrics + ASCII dashboard), "
+        "--trace-out PATH (JSONL event trace), --check-trace (replay "
+        "the trace through the invariant checker; see "
+        "docs/observability.md)"
+    )
 
 
 def catalogue_markdown() -> str:
@@ -226,6 +232,16 @@ def catalogue_markdown() -> str:
             f"| `{experiment.module}` | {aliases} | {experiment.paper} "
             f"| {experiment.description}{marker} | {bench} |"
         )
+    lines.append("")
+    lines.append(
+        "Every `repro run` invocation also accepts observability flags: "
+        "`--telemetry` collects sim-time metrics from every layer and "
+        "prints an end-of-run ASCII dashboard, `--trace-out PATH` writes "
+        "the merged JSONL event/sample trace, and `--check-trace` "
+        "replays the trace through the cross-layer invariant checker "
+        "(non-zero exit on any violation). See `docs/observability.md` "
+        "for the metric catalog, event schema, and invariant list."
+    )
     return "\n".join(lines)
 
 
@@ -264,8 +280,22 @@ def check_paper_map(path: str) -> int:
     return 0
 
 
-def run_experiments(names: List[str]) -> int:
-    """Run the named experiments' ``main()`` printers."""
+def run_experiments(
+    names: List[str],
+    telemetry_on: bool = False,
+    trace_out: Optional[str] = None,
+    check_trace: bool = False,
+) -> int:
+    """Run the named experiments' ``main()`` printers.
+
+    With any observability option the experiments run under an
+    installed :class:`~repro.metrics.telemetry.TelemetryRegistry`:
+    ``telemetry_on`` prints the end-of-run dashboard, ``trace_out``
+    writes the merged JSONL trace, and ``check_trace`` replays the
+    trace through :mod:`repro.metrics.tracecheck` (exit code 1 on any
+    invariant violation). Without them the run is byte-identical to an
+    uninstrumented one.
+    """
     if names == ["all"]:
         selected = list(EXPERIMENTS)
     else:
@@ -276,13 +306,49 @@ def run_experiments(names: List[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use 'python -m repro list' to see the catalogue", file=sys.stderr)
         return 2
-    for name in selected:
-        experiment = EXPERIMENTS[name]
-        module = importlib.import_module(
-            f"repro.experiments.{experiment.module}"
-        )
-        print(f"\n=== {name} ({experiment.module}) " + "=" * 30)
-        module.main()
+
+    registry = None
+    if telemetry_on or trace_out is not None or check_trace:
+        from repro.metrics import telemetry
+
+        registry = telemetry.install(telemetry.TelemetryRegistry())
+    try:
+        for name in selected:
+            experiment = EXPERIMENTS[name]
+            module = importlib.import_module(
+                f"repro.experiments.{experiment.module}"
+            )
+            print(f"\n=== {name} ({experiment.module}) " + "=" * 30)
+            module.main()
+    finally:
+        if registry is not None:
+            from repro.metrics import telemetry
+
+            telemetry.uninstall()
+    if registry is None:
+        return 0
+
+    if telemetry_on:
+        from repro.metrics.dashboard import render_dashboard
+
+        print(f"\n=== telemetry " + "=" * 30)
+        print(render_dashboard(registry))
+    if trace_out is not None:
+        count = registry.write_jsonl(trace_out)
+        print(f"wrote {count} trace records to {trace_out}")
+    if check_trace:
+        from repro.metrics.tracecheck import check_trace as run_checker
+
+        violations = run_checker(registry.trace_records())
+        if violations:
+            for violation in violations:
+                print(f"trace-check: {violation}", file=sys.stderr)
+            print(
+                f"trace-check: {len(violations)} invariant violation(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print("trace-check: all invariants hold")
     return 0
 
 
@@ -308,6 +374,24 @@ def main(argv: List[str] | None = None) -> int:
     )
     runner = subparsers.add_parser("run", help="run experiments by name")
     runner.add_argument("names", nargs="+", help="experiment names or 'all'")
+    runner.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect sim-time metrics and print the ASCII dashboard",
+    )
+    runner.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the merged JSONL event/sample trace to PATH "
+        "(enables telemetry collection)",
+    )
+    runner.add_argument(
+        "--check-trace",
+        action="store_true",
+        help="replay the telemetry trace through the cross-layer "
+        "invariant checker; exit 1 on any violation "
+        "(enables telemetry collection)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         if args.check:
@@ -319,7 +403,12 @@ def main(argv: List[str] | None = None) -> int:
             return 0
         list_experiments()
         return 0
-    return run_experiments(args.names)
+    return run_experiments(
+        args.names,
+        telemetry_on=args.telemetry,
+        trace_out=args.trace_out,
+        check_trace=args.check_trace,
+    )
 
 
 if __name__ == "__main__":

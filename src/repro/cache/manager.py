@@ -142,6 +142,21 @@ class PrefixCacheManager(MemoryBackend):
             if not e.live
         )
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        # The inner backend's occupancy plus the cache-layer signals.
+        # cached_bytes is skipped deliberately: it walks every entry,
+        # too costly for a per-iteration sample.
+        sample = self.inner.telemetry_sample()
+        tree = self.tree.stats
+        sample.update({
+            "cache_hit_rate": tree.hit_rate,
+            "cache_lookups_total": float(tree.lookups),
+            "cache_hits_total": float(tree.hits),
+            "cache_evictions_total": float(self.stats.evictions),
+            "shared_prefix_bytes": float(self._vat.dedup_saved_bytes),
+        })
+        return sample
+
     def report(self) -> PrefixCacheReport:
         """Snapshot of every cache statistic for the run report."""
         tree = self.tree.stats

@@ -52,6 +52,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
 from ..metrics.rolling import RollingPercentileTracker
+from ..metrics.telemetry import ClusterTelemetry
+from ..metrics.telemetry import active as active_telemetry
 from ..scheduling import validate_scheduler_policy
 from ..serving.engine import EngineConfig, LLMEngine
 from ..serving.request import Request
@@ -271,6 +273,9 @@ class _Migration:
     ready_time: float
     record: RequestRecord
     decode_request: Request
+    #: Transfer size and telemetry transfer id (``None``: telemetry off).
+    nbytes: int = 0
+    transfer: Optional[int] = None
 
 
 class ClusterEngine:
@@ -360,6 +365,13 @@ class ClusterEngine:
         #: that delivered it); the record keeps the original so TTFT
         #: still charges the full disruption to the user's wait.
         self._rerouted_arrivals: Dict[str, float] = {}
+        #: Cluster-scope instruments from the installed registry
+        #: (``None`` — the default — keeps every site a single check;
+        #: replica engines bound their own scopes at construction above).
+        registry = active_telemetry()
+        self._telemetry: Optional[ClusterTelemetry] = (
+            registry.cluster_telemetry() if registry is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -410,6 +422,11 @@ class ClusterEngine:
         and the loop below reduces exactly to the fixed-fleet one.
         """
         self._started = True
+        if self._telemetry is not None:
+            for replica in self.replicas:
+                self._telemetry.replica_init(
+                    0.0, replica.index, replica.role, replica.state.value
+                )
         self._events = EventQueue()
         for request in sorted(self._submitted, key=lambda r: r.arrival_time):
             self._events.push(request.arrival_time, EventKind.ARRIVAL, request)
@@ -438,6 +455,8 @@ class ClusterEngine:
             for replica in self.replicas:
                 replica.engine.run_until(now)
             for event in self._events.pop_due(now):
+                if self._telemetry is not None:
+                    self._telemetry.on_sim_event(event)
                 if event.kind is EventKind.ARRIVAL:
                     self._route(event.payload)
                 elif event.kind is EventKind.MIGRATION:
@@ -465,10 +484,15 @@ class ClusterEngine:
         # no-op (the router sees the identical sequence it always did).
         targets = [r for r in self._route_targets if r.is_serving]
         replica = self.router.select(request, targets)
+        original_arrival = self._rerouted_arrivals.pop(
+            request.request_id, None
+        )
         record = RequestRecord(
             request_id=request.request_id,
-            arrival_time=self._rerouted_arrivals.pop(
-                request.request_id, request.arrival_time
+            arrival_time=(
+                original_arrival
+                if original_arrival is not None
+                else request.arrival_time
             ),
             prompt_len=request.prompt_len,
             max_new_tokens=request.max_new_tokens,
@@ -481,6 +505,25 @@ class ClusterEngine:
             # when its original replica drained; bill the journey.
             record.migrated_bytes, record.migration_wait = migration[:2]
             record.migration_seconds = migration[2]
+        if self._telemetry is not None:
+            self._telemetry.request_routed(
+                request.arrival_time,
+                request.request_id,
+                replica.index,
+                request.prompt_len,
+                request.max_new_tokens,
+                rerouted=original_arrival is not None,
+            )
+            if migration is not None and migration[4] is not None:
+                # The drain-leg KV transfer lands with its re-route.
+                self._telemetry.migration_land(
+                    request.arrival_time,
+                    migration[4],
+                    request.request_id,
+                    replica.index,
+                    migration[3],
+                )
+            self._sample_fleet(request.arrival_time)
         if self.config.disaggregated:
             # The prefill tier runs the prompt and produces exactly the
             # first token; the rest of the decode happens post-handoff.
@@ -553,10 +596,20 @@ class ClusterEngine:
             prefill_done=True,
             prefilled_tokens=prefill.context_len,
         )
+        transfer = None
+        if self._telemetry is not None:
+            transfer = self._telemetry.migration_start(
+                prefill.finish_time,
+                record.request_id,
+                "disagg",
+                nbytes,
+                start,
+                done,
+            )
         self._events.push(
             done,
             EventKind.MIGRATION,
-            _Migration(done, record, continuation),
+            _Migration(done, record, continuation, nbytes, transfer),
         )
 
     def _dispatch_migration(self, migration: _Migration) -> None:
@@ -565,6 +618,14 @@ class ClusterEngine:
         record.decode_replica = replica.index
         record.decode_request = migration.decode_request
         record.awaits_decode = False
+        if self._telemetry is not None and migration.transfer is not None:
+            self._telemetry.migration_land(
+                migration.ready_time,
+                migration.transfer,
+                record.request_id,
+                replica.index,
+                migration.nbytes,
+            )
         replica.engine.submit([migration.decode_request])
 
     # ------------------------------------------------------------------
@@ -586,6 +647,38 @@ class ClusterEngine:
                 n_serving=self.n_serving,
                 reason=reason,
             )
+        )
+        if self._telemetry is not None:
+            # Every call site mutates the replica's state *before*
+            # reaching this chokepoint, so its current lifecycle value
+            # is the transition the trace checker replays.
+            self._telemetry.replica_state(
+                time,
+                self.replicas[replica].state.value,
+                replica,
+                self.n_serving,
+                reason,
+            )
+
+    def _sample_fleet(
+        self, now: float, p99_ttft: Optional[float] = None
+    ) -> None:
+        """Sample the fleet gauges (routing and scale-decide instants)."""
+        n_warming = sum(
+            1
+            for r in self.replicas
+            if r.state in (ReplicaState.PROVISIONING, ReplicaState.WARMING)
+        )
+        n_draining = sum(
+            1 for r in self.replicas if r.state is ReplicaState.DRAINING
+        )
+        self._telemetry.sample_fleet(
+            now,
+            self.n_serving,
+            n_warming,
+            n_draining,
+            [(r.index, r.engine.outstanding_tokens) for r in self.replicas],
+            p99_ttft,
         )
 
     def _feed_ttft_tracker(self, now: float) -> None:
@@ -648,6 +741,9 @@ class ClusterEngine:
                 n_serving=view.n_serving,
             )
         )
+        if self._telemetry is not None:
+            self._telemetry.scale_decides.inc()
+            self._sample_fleet(now, p99_ttft=view.rolling_p99_ttft)
         decision = self.autoscaler.decide(view)
         if decision.delta > 0:
             headroom = view.max_replicas - view.n_live
@@ -741,10 +837,18 @@ class ClusterEngine:
                 billed_bytes = record.migrated_bytes + nbytes
                 billed_wait = record.migration_wait + (start - now)
                 billed_seconds = record.migration_seconds + (done - start)
+                transfer = None
+                if self._telemetry is not None:
+                    transfer = self._telemetry.migration_start(
+                        now, request.request_id, "drain",
+                        nbytes, start, done,
+                    )
                 self._drain_migrations[request.request_id] = (
                     billed_bytes,
                     billed_wait,
                     billed_seconds,
+                    nbytes,
+                    transfer,
                 )
                 request.prefilled_tokens = cached
                 request.cached_prefix_tokens = cached
@@ -756,6 +860,8 @@ class ClusterEngine:
                     record.migrated_bytes,
                     record.migration_wait,
                     record.migration_seconds,
+                    0,
+                    None,
                 )
             # Causality: the request re-enters the timeline at the
             # re-dispatch (or KV-landing) instant — never at its
@@ -820,7 +926,7 @@ class ClusterEngine:
             (replica.engine.clock.now for replica in self.replicas),
             default=0.0,
         )
-        return ClusterReport(
+        report = ClusterReport(
             n_replicas=len(self.replicas),
             routing_policy=self.config.routing_policy,
             disaggregated=self.config.disaggregated,
@@ -841,3 +947,6 @@ class ClusterEngine:
             slo_samples=tuple(self._slo_samples),
             peak_serving=self._peak_serving,
         )
+        if self._telemetry is not None:
+            self._telemetry.on_report(report)
+        return report

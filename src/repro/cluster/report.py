@@ -10,10 +10,11 @@ TTFT are only meaningful stitched back together.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..metrics.collector import RunReport
+from ..metrics.collector import RunReport, none_on_empty
 from ..metrics.stats import mean, percentile
 from ..serving.request import Request
 from .autoscaler import ScaleEvent, SloSample
@@ -232,3 +233,53 @@ class ClusterReport:
         if not ttfts:
             raise ValueError("no finished requests to judge the SLO on")
         return sum(1 for t in ttfts if t <= slo_ttft) / len(ttfts)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The report as one JSON-able dict.
+
+        The single serialization path shared by benchmarks, the
+        telemetry event log and the dashboard (mirrors
+        :meth:`RunReport.to_json
+        <repro.metrics.collector.RunReport.to_json>`). Summaries with
+        no data serialize as ``None``.
+        """
+        return {
+            "n_replicas": self.n_replicas,
+            "routing_policy": self.routing_policy,
+            "disaggregated": self.disaggregated,
+            "interconnect": self.interconnect,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "makespan": self.makespan,
+            "num_requests": len(self.records),
+            "num_finished": len(self.finished_records),
+            "requests_per_minute": none_on_empty(self.requests_per_minute),
+            "mean_ttft": none_on_empty(self.mean_ttft),
+            "median_ttft": none_on_empty(self.median_ttft),
+            "p99_ttft": none_on_empty(self.p99_ttft),
+            "median_latency": none_on_empty(self.median_latency),
+            "p99_latency": none_on_empty(self.p99_latency),
+            "requests_per_replica": list(self.requests_per_replica),
+            "replica_hit_rates": list(self.replica_hit_rates),
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_hit_tokens": self.cache_hit_tokens,
+            "migrations": self.migrations,
+            "migrated_bytes": self.migrated_bytes,
+            "migration_seconds": self.migration_seconds,
+            "mean_migration_wait": self.mean_migration_wait,
+            "autoscaler": self.autoscaler,
+            "replica_seconds": self.replica_seconds,
+            "scale_up_count": self.scale_up_count,
+            "drain_count": self.drain_count,
+            "peak_serving_replicas": self.peak_serving_replicas,
+            "scale_events": [
+                dataclasses.asdict(event) for event in self.scale_events
+            ],
+            "slo_samples": [
+                dataclasses.asdict(sample) for sample in self.slo_samples
+            ],
+            "replica_reports": [
+                report.to_json() for report in self.replica_reports
+            ],
+        }

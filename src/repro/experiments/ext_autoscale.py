@@ -173,10 +173,27 @@ def run(
     qps: float = QPS,
 ) -> List[AutoscaleRow]:
     """The fleet-shape sweep over the shared bursty trace."""
-    return [
-        _row(fleet, serve(fleet, gpu=gpu, count=count, qps=qps))
+    rows, _ = run_with_reports(fleets, gpu=gpu, count=count, qps=qps)
+    return rows
+
+
+def run_with_reports(
+    fleets: Sequence[str] = tuple(FLEETS),
+    gpu: GpuSpec = A100,
+    count: int = REQUESTS,
+    qps: float = QPS,
+) -> Tuple[List[AutoscaleRow], Dict[str, ClusterReport]]:
+    """The sweep plus each fleet's full :class:`ClusterReport`.
+
+    The benchmark wrapper embeds the reports (via
+    :meth:`ClusterReport.to_json`) next to the summary rows.
+    """
+    reports = {
+        fleet: serve(fleet, gpu=gpu, count=count, qps=qps)
         for fleet in fleets
-    ]
+    }
+    rows = [_row(fleet, reports[fleet]) for fleet in fleets]
+    return rows, reports
 
 
 def replica_second_savings(

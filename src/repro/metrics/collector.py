@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..serving.request import Request
 from .stats import mean, percentile
+
+
+def none_on_empty(compute: Callable[[], float]) -> Optional[float]:
+    """Evaluate a summary, mapping the empty-data ``ValueError`` to ``None``.
+
+    The repo-wide contract: summary accessors *raise* ``ValueError``
+    when there is nothing to summarize (callers who forgot to check are
+    bugs, not silently-``None`` rows), and serialization paths —
+    :meth:`RunReport.to_json`,
+    :meth:`~repro.cluster.report.ClusterReport.to_json` — are the one
+    place that absence is represented as an explicit ``None`` field.
+    """
+    try:
+        return compute()
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -185,3 +202,37 @@ class RunReport:
     def p99_ttft(self) -> float:
         """Tail time to first token."""
         return percentile(self.ttft_latencies(), 99.0)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The report as one JSON-able dict.
+
+        The single serialization path shared by benchmarks, the
+        telemetry event log and the dashboard. Summaries that have no
+        data serialize as ``None`` (see :func:`none_on_empty`).
+        """
+        document: Dict[str, Any] = {
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "makespan": self.makespan,
+            "num_requests": len(self.requests),
+            "num_finished": len(self.finished_requests),
+            "iterations": self.metrics.iteration_count(),
+            "records": len(self.metrics.iterations),
+            "requests_per_minute": none_on_empty(self.requests_per_minute),
+            "median_latency": none_on_empty(self.median_latency),
+            "p99_latency": none_on_empty(self.p99_latency),
+            "mean_ttft": none_on_empty(self.mean_ttft),
+            "median_ttft": none_on_empty(self.median_ttft),
+            "p99_ttft": none_on_empty(self.p99_ttft),
+            "decode_throughput": none_on_empty(
+                self.metrics.decode_throughput
+            ),
+            "prefill_throughput": none_on_empty(
+                self.metrics.prefill_throughput
+            ),
+        }
+        if self.prefix_cache is not None and dataclasses.is_dataclass(
+            self.prefix_cache
+        ):
+            document["prefix_cache"] = dataclasses.asdict(self.prefix_cache)
+        return document

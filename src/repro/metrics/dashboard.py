@@ -1,0 +1,87 @@
+"""End-of-run telemetry dashboard: registry state as ASCII or JSON.
+
+The ASCII form groups instruments by layer and renders counters as a
+bar chart, gauges as last-value plus a sim-time sparkline, and
+histograms as count/mean/p50/p99 summaries — all through the plotting
+primitives in :mod:`repro.metrics.ascii_plot`. The JSON form is just
+:meth:`TelemetryRegistry.to_json
+<repro.metrics.telemetry.TelemetryRegistry.to_json>`, kept here only
+so both renderings share one entry point.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .ascii_plot import bar_chart, sparkline
+from .telemetry import LAYERS, Counter, Gauge, Histogram, TelemetryRegistry
+
+#: Gauge sparklines downsample to this many points.
+_SPARK_POINTS = 48
+
+
+def _downsample(values: List[float], points: int = _SPARK_POINTS) -> List[float]:
+    if len(values) <= points:
+        return values
+    step = len(values) / points
+    return [values[int(index * step)] for index in range(points)]
+
+
+def render_dashboard(registry: TelemetryRegistry, width: int = 40) -> str:
+    """The registry's state as a layer-grouped ASCII dashboard."""
+    by_layer = {}
+    for instrument in registry.metrics():
+        by_layer.setdefault(instrument.spec.layer, []).append(instrument)
+    if not by_layer:
+        return "telemetry: no metrics recorded"
+
+    ordered = [layer for layer in LAYERS if layer in by_layer]
+    ordered += sorted(set(by_layer) - set(LAYERS))
+
+    sections: List[str] = []
+    for layer in ordered:
+        instruments = by_layer[layer]
+        lines = [f"== {layer or 'other'} =="]
+
+        counters = [
+            (instrument.spec.key, instrument.value)
+            for instrument in instruments
+            if isinstance(instrument, Counter)
+        ]
+        if counters and max(value for _, value in counters) > 0:
+            lines.append(bar_chart(counters, width=width))
+        else:
+            lines.extend(f"{key}: {value:g}" for key, value in counters)
+
+        for instrument in instruments:
+            if isinstance(instrument, Gauge):
+                series = instrument.series()
+                if not series:
+                    continue
+                unit = instrument.spec.unit
+                suffix = f" {unit}" if unit else ""
+                lines.append(
+                    f"{instrument.spec.key}: last={instrument.last:g}"
+                    f"{suffix}  "
+                    f"[{min(series):g}..{max(series):g}] "
+                    f"{sparkline(_downsample(series))}"
+                )
+            elif isinstance(instrument, Histogram):
+                summary = instrument.summary()
+                if summary is None:
+                    continue
+                lines.append(
+                    f"{instrument.spec.key}: n={summary['count']:g} "
+                    f"mean={summary['mean']:.6g} "
+                    f"p50={summary['p50']:.6g} p99={summary['p99']:.6g}"
+                )
+        sections.append("\n".join(lines))
+
+    header = f"telemetry dashboard ({len(registry.events)} events)"
+    return "\n\n".join([header] + sections)
+
+
+def render_json(registry: TelemetryRegistry, indent: int = 2) -> str:
+    """The registry's state as a JSON document string."""
+    return json.dumps(registry.to_json(), indent=indent, sort_keys=True)

@@ -1,0 +1,300 @@
+"""Replay a telemetry trace and assert cross-layer invariants.
+
+The merged trace (:meth:`TelemetryRegistry.trace_records
+<repro.metrics.telemetry.TelemetryRegistry.trace_records>`) totally
+orders every instrumentation event and gauge sample by the registry's
+shared sequence counter. This module replays that order and proves the
+properties the simulator is supposed to guarantee by construction:
+
+* **Monotone request clocks** — per request: arrival ≤ admitted,
+  arrival ≤ first-token ≤ finish.
+* **Token conservation** — a request's token budget (``total_len``)
+  is identical on every admission (preemption may re-partition
+  prompt/output, never grow the total), and at finish
+  ``prompt_len + generated`` equals the budget — or stays under it
+  only when the finish was context-capped.
+* **KV conservation across migration and drain re-routing** — every
+  transfer that enters the migration link lands exactly once, with the
+  same byte count, at exactly the transfer's computed arrival time.
+* **SERVING-only routing** — no ``request_routed`` event targets a
+  replica whose replayed lifecycle state is not ``serving``, and
+  replica lifecycles only take legal transitions
+  (provisioning → warming → serving → draining → retired).
+* **Gauge reconstruction** — ``num_running_reqs`` and
+  ``num_serving_replicas`` samples must equal the values re-derived
+  from the event stream alone (admits/preempts/finishes, lifecycle
+  actions), i.e. the gauges carry no information the events don't.
+
+Streams are partitioned by scope (engine ``r0…``, cluster ``c0…``)
+because request ids repeat across sweep cells; *times* are compared
+only within a stream — replica clocks legitimately interleave on the
+global axis, so the checker never asserts global time monotonicity.
+
+Checks degrade gracefully: an invariant with no relevant events in the
+trace simply passes, so the checker runs unmodified over single-engine
+experiments (no cluster events) and cluster experiments alike.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Legal replica-lifecycle transitions (old state -> allowed new states).
+_LIFECYCLE = {
+    "provisioning": {"warming"},
+    "warming": {"serving"},
+    "serving": {"draining", "retired"},
+    "draining": {"retired"},
+    "retired": set(),
+}
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One broken invariant, anchored to the offending trace record."""
+
+    invariant: str
+    message: str
+    seq: int
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] seq={self.seq}: {self.message}"
+
+
+class _RequestLedger:
+    """Per-(scope, request) lifecycle bookkeeping during replay."""
+
+    __slots__ = ("total_len", "running", "finishes")
+
+    def __init__(self, total_len: int) -> None:
+        self.total_len = total_len
+        self.running = False
+        self.finishes = 0
+
+
+def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
+    """Replay ``records`` (seq order) and return every violation found."""
+    records = sorted(records, key=lambda r: r["seq"])
+    violations: List[TraceViolation] = []
+
+    def flag(invariant: str, seq: int, message: str) -> None:
+        violations.append(TraceViolation(invariant, message, seq))
+
+    # Replay state --------------------------------------------------------
+    # (scope, request_id) -> ledger; scope -> replayed running count.
+    requests: Dict[Tuple[str, str], _RequestLedger] = {}
+    running: Dict[str, int] = {}
+    # cluster -> replica index -> lifecycle state; cluster -> serving count.
+    replicas: Dict[str, Dict[int, str]] = {}
+    serving: Dict[str, int] = {}
+    # (cluster, transfer) -> the unmatched migration_start record.
+    transfers: Dict[Tuple[str, int], Dict[str, Any]] = {}
+
+    for record in records:
+        seq = record["seq"]
+        event = record["event"]
+
+        if event == "request_admitted":
+            key = (record["scope"], record["request"])
+            ledger = requests.get(key)
+            if ledger is None:
+                requests[key] = ledger = _RequestLedger(record["total_len"])
+            elif record["total_len"] != ledger.total_len:
+                flag("token-conservation", seq,
+                     f"request {key[1]} re-admitted with total_len "
+                     f"{record['total_len']} != {ledger.total_len}")
+            if ledger.running:
+                flag("request-lifecycle", seq,
+                     f"request {key[1]} admitted while already running")
+            if record["time"] < record["arrival"]:
+                flag("monotone-clock", seq,
+                     f"request {key[1]} admitted at {record['time']} "
+                     f"before its arrival {record['arrival']}")
+            ledger.running = True
+            running[key[0]] = running.get(key[0], 0) + 1
+
+        elif event == "request_preempted":
+            key = (record["scope"], record["request"])
+            ledger = requests.get(key)
+            if ledger is None or not ledger.running:
+                flag("request-lifecycle", seq,
+                     f"request {key[1]} preempted while not running")
+            else:
+                ledger.running = False
+                running[key[0]] -= 1
+
+        elif event == "request_finished":
+            key = (record["scope"], record["request"])
+            ledger = requests.get(key)
+            if ledger is None or not ledger.running:
+                flag("request-lifecycle", seq,
+                     f"request {key[1]} finished while not running")
+            else:
+                ledger.running = False
+                ledger.finishes += 1
+                running[key[0]] -= 1
+                if ledger.finishes > 1:
+                    flag("request-lifecycle", seq,
+                         f"request {key[1]} finished more than once")
+            _check_clocks(record, flag)
+            _check_tokens(record, ledger, flag)
+
+        elif event == "replica_init":
+            fleet = replicas.setdefault(record["cluster"], {})
+            fleet[record["replica"]] = record["state"]
+            serving[record["cluster"]] = sum(
+                1 for state in fleet.values() if state == "serving"
+            )
+
+        elif event == "replica_state":
+            cluster = record["cluster"]
+            fleet = replicas.setdefault(cluster, {})
+            previous = fleet.get(record["replica"])
+            state = record["action"]
+            if previous is None:
+                if state != "provisioning":
+                    flag("replica-lifecycle", seq,
+                         f"replica {record['replica']} appeared in state "
+                         f"{state!r} without provisioning")
+            elif state not in _LIFECYCLE.get(previous, set()):
+                flag("replica-lifecycle", seq,
+                     f"replica {record['replica']} illegal transition "
+                     f"{previous!r} -> {state!r}")
+            fleet[record["replica"]] = state
+            serving[cluster] = sum(
+                1 for value in fleet.values() if value == "serving"
+            )
+            if record["n_serving"] != serving[cluster]:
+                flag("gauge-reconstruction", seq,
+                     f"replica_state reports n_serving="
+                     f"{record['n_serving']} but replay counts "
+                     f"{serving[cluster]}")
+
+        elif event == "request_routed":
+            cluster = record["cluster"]
+            state = replicas.get(cluster, {}).get(record["replica"])
+            if state != "serving":
+                flag("serving-only-routing", seq,
+                     f"request {record['request']} routed to replica "
+                     f"{record['replica']} in state {state!r}")
+
+        elif event == "migration_start":
+            key = (record["cluster"], record["transfer"])
+            if key in transfers:
+                flag("kv-conservation", seq,
+                     f"transfer {key[1]} started twice")
+            transfers[key] = record
+
+        elif event == "migration_land":
+            key = (record["cluster"], record["transfer"])
+            start = transfers.pop(key, None)
+            if start is None:
+                flag("kv-conservation", seq,
+                     f"transfer {key[1]} landed without a start")
+                continue
+            if record["bytes"] != start["bytes"]:
+                flag("kv-conservation", seq,
+                     f"transfer {key[1]} landed {record['bytes']} bytes "
+                     f"but started with {start['bytes']}")
+            if record["time"] != start["done"]:
+                flag("kv-conservation", seq,
+                     f"transfer {key[1]} landed at {record['time']} but "
+                     f"the link computed arrival {start['done']}")
+
+        elif event == "sample":
+            _check_sample(record, running, serving, flag)
+
+    for (cluster, transfer), start in sorted(transfers.items()):
+        flag("kv-conservation", start["seq"],
+             f"transfer {transfer} on {cluster} never landed "
+             f"({start['bytes']} bytes in flight at end of trace)")
+
+    violations.sort(key=lambda v: v.seq)
+    return violations
+
+
+def _check_clocks(record: Dict[str, Any], flag) -> None:
+    """arrival ≤ admitted, arrival ≤ first-token ≤ finish."""
+    request = record["request"]
+    arrival = record["arrival"]
+    admitted = record["admitted"]
+    first = record["first_token"]
+    finish = record["finish"]
+    if admitted is not None and admitted < arrival:
+        flag("monotone-clock", record["seq"],
+             f"request {request} admitted ({admitted}) before "
+             f"arrival ({arrival})")
+    if first is not None:
+        if first < arrival:
+            flag("monotone-clock", record["seq"],
+                 f"request {request} first token ({first}) before "
+                 f"arrival ({arrival})")
+        if finish < first:
+            flag("monotone-clock", record["seq"],
+                 f"request {request} finished ({finish}) before its "
+                 f"first token ({first})")
+    elif finish < arrival:
+        flag("monotone-clock", record["seq"],
+             f"request {request} finished ({finish}) before "
+             f"arrival ({arrival})")
+
+
+def _check_tokens(record: Dict[str, Any],
+                  ledger: Optional[_RequestLedger], flag) -> None:
+    """prompt + generated must close the admitted token budget."""
+    request = record["request"]
+    produced = record["prompt_len"] + record["generated"]
+    total = record["total_len"]
+    if ledger is not None and total != ledger.total_len:
+        flag("token-conservation", record["seq"],
+             f"request {request} finished with total_len {total} != "
+             f"admitted budget {ledger.total_len}")
+    if record["context_capped"]:
+        if produced > total:
+            flag("token-conservation", record["seq"],
+                 f"request {request} produced {produced} tokens over "
+                 f"its budget {total}")
+    elif produced != total:
+        flag("token-conservation", record["seq"],
+             f"request {request} produced {produced} tokens, "
+             f"budget was {total}")
+
+
+def _check_sample(record: Dict[str, Any], running: Dict[str, int],
+                  serving: Dict[str, int], flag) -> None:
+    """Replayable gauges must match the value re-derived from events."""
+    metric = record["metric"]
+    scope = record["scope"]
+    if metric == "num_running_reqs":
+        expected = running.get(scope, 0)
+    elif metric == "num_serving_replicas":
+        expected = serving.get(scope, 0)
+    else:
+        return
+    if record["value"] != float(expected):
+        flag("gauge-reconstruction", record["seq"],
+             f"{metric}[{scope}] sampled {record['value']} but the "
+             f"event stream reconstructs {expected}")
+
+
+def check_jsonl(path: str) -> List[TraceViolation]:
+    """Run :func:`check_trace` over a JSONL trace file."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return check_trace(records)
+
+
+def assert_clean(records: Iterable[Dict[str, Any]]) -> None:
+    """Raise ``AssertionError`` listing every violation, if any."""
+    violations = check_trace(records)
+    if violations:
+        listing = "\n".join(f"  {violation}" for violation in violations)
+        raise AssertionError(
+            f"{len(violations)} trace invariant violation(s):\n{listing}"
+        )

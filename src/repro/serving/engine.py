@@ -41,6 +41,8 @@ from ..kernels.costmodel import (
 )
 from ..kernels.registry import get_kernel
 from ..metrics.collector import IterationRecord, MetricsCollector, RunReport
+from ..metrics.telemetry import EngineTelemetry
+from ..metrics.telemetry import active as active_telemetry
 from ..models.shard import ShardedModel
 from ..scheduling import (
     DEFAULT_TOKEN_BUDGET,
@@ -241,6 +243,14 @@ class LLMEngine:
             default_ttft_budget=config.sla_ttft_budget,
         )
         self.metrics = MetricsCollector()
+        #: Bound at construction from the installed registry
+        #: (:func:`repro.metrics.telemetry.install`); ``None`` — the
+        #: default — makes every instrumentation site a single attribute
+        #: check, and the simulated results are identical either way.
+        registry = active_telemetry()
+        self.telemetry: Optional[EngineTelemetry] = (
+            registry.engine_telemetry() if registry is not None else None
+        )
         self._fast = DecodeFastForwarder(self)
         self._pending: Deque[Request] = deque()  # future arrivals
         self._waiting: Deque[Request] = deque()  # arrived, not admitted
@@ -341,13 +351,16 @@ class LLMEngine:
         """Serve all submitted requests; returns the run report."""
         start = self.clock.now
         self._serve(math.inf, max_iterations)
-        return RunReport(
+        report = RunReport(
             requests=list(self._all_requests),
             metrics=self.metrics,
             start_time=start,
             end_time=self.clock.now,
             prefix_cache=self.memory.cache_report(),
         )
+        if self.telemetry is not None:
+            self.telemetry.on_report(self, report)
+        return report
 
     def run_until(self, deadline: float) -> int:
         """Serve until the clock reaches ``deadline`` or work runs out.
@@ -559,6 +572,8 @@ class LLMEngine:
             request.state = RequestState.RUNNING
             request.admitted_time = self.clock.now
             self._running.append(request)
+            if self.telemetry is not None:
+                self.telemetry.on_admit(self, request)
 
     # ------------------------------------------------------------------
     # Iterations
@@ -599,19 +614,20 @@ class LLMEngine:
         request.record_prefill(self.clock.now)
         self.memory.note_prefill_complete(request)
         self.memory.after_iteration(compute)
-        self.metrics.record(
-            IterationRecord(
-                start_time=before,
-                phase="prefill",
-                batch_size=1,
-                latency=self.clock.now - before,
-                alloc_sync=alloc_sync,
-                # Served prompt tokens: a prefix-cache hit delivers the
-                # cached tokens too, it just skips recomputing them —
-                # prefill throughput measures serving, not FLOPs.
-                tokens=request.prompt_len,
-            )
+        record = IterationRecord(
+            start_time=before,
+            phase="prefill",
+            batch_size=1,
+            latency=self.clock.now - before,
+            alloc_sync=alloc_sync,
+            # Served prompt tokens: a prefix-cache hit delivers the
+            # cached tokens too, it just skips recomputing them —
+            # prefill throughput measures serving, not FLOPs.
+            tokens=request.prompt_len,
         )
+        self.metrics.record(record)
+        if self.telemetry is not None:
+            self.telemetry.on_iteration(self, record)
         self._retire_finished()
 
     def _run_mixed(self, prefill: Request, chunk_budget: int) -> None:
@@ -686,16 +702,17 @@ class LLMEngine:
         for request in decodes:
             request.record_decode_token(self.clock.now)
         self.memory.after_iteration(compute)
-        self.metrics.record(
-            IterationRecord(
-                start_time=before,
-                phase="mixed",
-                batch_size=len(decodes) + 1,
-                latency=self.clock.now - before,
-                alloc_sync=alloc_sync,
-                tokens=served + len(decodes),
-            )
+        record = IterationRecord(
+            start_time=before,
+            phase="mixed",
+            batch_size=len(decodes) + 1,
+            latency=self.clock.now - before,
+            alloc_sync=alloc_sync,
+            tokens=served + len(decodes),
         )
+        self.metrics.record(record)
+        if self.telemetry is not None:
+            self.telemetry.on_iteration(self, record)
         self._retire_finished()
 
     def _run_decode(self) -> None:
@@ -721,16 +738,17 @@ class LLMEngine:
         for request in batch:
             request.record_decode_token(self.clock.now)
         self.memory.after_iteration(compute)
-        self.metrics.record(
-            IterationRecord(
-                start_time=before,
-                phase="decode",
-                batch_size=len(batch),
-                latency=self.clock.now - before,
-                alloc_sync=alloc_sync,
-                tokens=len(batch),
-            )
+        record = IterationRecord(
+            start_time=before,
+            phase="decode",
+            batch_size=len(batch),
+            latency=self.clock.now - before,
+            alloc_sync=alloc_sync,
+            tokens=len(batch),
         )
+        self.metrics.record(record)
+        if self.telemetry is not None:
+            self.telemetry.on_iteration(self, record)
         self._retire_finished()
 
     def _block_size_for(self, kernel: AttentionKernel) -> Optional[int]:
@@ -771,6 +789,8 @@ class LLMEngine:
             self._evict(victim)
             victim.state = RequestState.QUEUED
             self._waiting.appendleft(victim)
+            if self.telemetry is not None:
+                self.telemetry.on_preempt(self, victim)
 
     def _evict(self, victim: Request) -> None:
         """Apply the configured preemption policy to ``victim``."""
@@ -795,6 +815,8 @@ class LLMEngine:
             ):
                 self.memory.retire(request)
                 request.finish(self.clock.now)
+                if self.telemetry is not None:
+                    self.telemetry.on_finish(self, request)
                 if self.on_retire is not None:
                     self.on_retire(request)
             else:

@@ -89,6 +89,16 @@ class MemoryBackend(abc.ABC):
         """Prefix-cache statistics, or ``None`` for cache-less backends."""
         return None
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Current occupancy figures for the telemetry registry.
+
+        Convention: keys ending in ``_total`` are cumulative counters
+        (the registry records their deltas); every other key is a gauge
+        sampled as-is. An empty dict — the default — means the backend
+        exposes nothing.
+        """
+        return {}
+
     def after_iteration(self, iteration_seconds: float) -> None:
         """Observe a completed compute window (background allocation)."""
 
@@ -323,6 +333,15 @@ class VAttentionMemory(MemoryBackend):
         """Rows promised to admitted-but-not-yet-backed requests."""
         return sum(self._pending_rows.values())
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        total = self.manager.total_rows
+        free = self.manager.free_rows
+        return {
+            "kv_pages_used": float(total - free),
+            "kv_pages_free": float(free),
+            "token_usage": (total - free) / total,
+        }
+
     def can_admit(self, request: Request) -> bool:
         tokens = request.resident_tokens_needed
         if tokens > self.config.shard.max_context:
@@ -537,6 +556,15 @@ class PagedMemory(MemoryBackend):
         self.cost: BlockTableCost = block_table_cost(library)
         self.block_size = block_size
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        total = self.blocks.num_blocks
+        free = self.blocks.free_blocks
+        return {
+            "kv_pages_used": float(total - free),
+            "kv_pages_free": float(free),
+            "token_usage": (total - free) / total,
+        }
+
     def can_admit(self, request: Request) -> bool:
         return self.blocks.can_allocate(request.resident_tokens_needed)
 
@@ -741,6 +769,9 @@ class UvmMemory(MemoryBackend):
         """Physical bytes this backend has permanently materialized."""
         return self.region.committed_bytes
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {"kv_committed_bytes": float(self.committed_bytes)}
+
 
 # ----------------------------------------------------------------------
 class StaticMemory(MemoryBackend):
@@ -796,3 +827,11 @@ class StaticMemory(MemoryBackend):
     def committed_bytes(self) -> int:
         """Bytes committed regardless of use (the fragmentation source)."""
         return self._buffer.committed
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        used = self.max_slots - len(self._free_slots)
+        return {
+            "kv_slots_used": float(used),
+            "kv_slots_free": float(len(self._free_slots)),
+            "kv_committed_bytes": float(self.committed_bytes),
+        }

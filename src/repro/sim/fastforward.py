@@ -236,17 +236,22 @@ class DecodeFastForwarder:
         for request in batch:
             request.generated += executed
         plan.commit(executed, last_step_now)
-        engine.metrics.record(
-            IterationRecord(
-                start_time=start,
-                phase="decode",
-                batch_size=batch_size,
-                latency=latency_sum,
-                alloc_sync=0.0,
-                tokens=executed * batch_size,
-                iterations=executed,
-                latencies=tuple(latencies),
-            )
+        record = IterationRecord(
+            start_time=start,
+            phase="decode",
+            batch_size=batch_size,
+            latency=latency_sum,
+            alloc_sync=0.0,
+            tokens=executed * batch_size,
+            iterations=executed,
+            latencies=tuple(latencies),
         )
+        engine.metrics.record(record)
+        if engine.telemetry is not None:
+            # One aggregate sample for the stretch: the counters advance
+            # by exactly what the legacy per-iteration loop would add
+            # (iterations, tokens, busy seconds), and the stretch length
+            # lands in the fast_forward_stretch_iterations histogram.
+            engine.telemetry.on_iteration(engine, record)
         engine._retire_finished()
         return executed

@@ -76,8 +76,14 @@ class TestMarkdownCatalogue:
     def test_markdown_is_a_table(self):
         lines = catalogue_markdown().splitlines()
         assert lines[0].startswith("| Experiment |")
-        assert len(lines) == 2 + len(EXPERIMENTS)
-        assert all(line.startswith("|") for line in lines)
+        # Header + separator + one row per experiment, then a blank
+        # line and the observability-flags footer paragraph.
+        table = lines[: 2 + len(EXPERIMENTS)]
+        assert all(line.startswith("|") for line in table)
+        assert lines[2 + len(EXPERIMENTS)] == ""
+        footer = "\n".join(lines[2 + len(EXPERIMENTS):])
+        for flag in ("--telemetry", "--trace-out", "--check-trace"):
+            assert flag in footer
 
     def test_check_passes_on_fresh_file(self, tmp_path):
         path = tmp_path / "paper_map.md"
@@ -134,6 +140,22 @@ class TestRun:
     def test_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_telemetry_flags(self, capsys, tmp_path):
+        from repro.metrics.telemetry import active
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "run", "fig12", "--telemetry",
+            "--trace-out", str(trace), "--check-trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert "== engine ==" in out
+        assert "trace-check: all invariants hold" in out
+        assert trace.exists()
+        # The registry is uninstalled again afterwards.
+        assert active() is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,8 +1,17 @@
 """Statistics helpers and the metrics collector."""
 
+import json
+
 import pytest
 
-from repro.metrics.collector import IterationRecord, MetricsCollector, RunReport
+from repro.errors import ConfigError
+from repro.metrics.collector import (
+    IterationRecord,
+    MetricsCollector,
+    RunReport,
+    none_on_empty,
+)
+from repro.metrics.rolling import RollingPercentileTracker
 from repro.metrics.stats import (
     cdf_at,
     cdf_points,
@@ -242,3 +251,104 @@ class TestRunReportEmptyRuns:
             report.median_latency()
         with pytest.raises(ValueError):
             report.median_ttft()
+
+
+class TestRollingWindow:
+    def test_empty_window_returns_none(self):
+        tracker = RollingPercentileTracker(window_seconds=10.0)
+        assert len(tracker) == 0
+        assert tracker.values() == []
+        assert tracker.percentile(99.0) is None
+        assert tracker.attainment(1.0) is None
+
+    def test_single_sample(self):
+        tracker = RollingPercentileTracker(window_seconds=10.0)
+        tracker.observe(1.0, 4.0)
+        assert tracker.percentile(50.0) == 4.0
+        assert tracker.percentile(99.0) == 4.0
+        assert tracker.attainment(4.0) == 1.0
+        assert tracker.attainment(3.9) == 0.0
+
+    def test_eviction_exactly_at_boundary(self):
+        # Pruning drops samples *strictly* older than the horizon: a
+        # sample aged exactly window_seconds is still in-window.
+        tracker = RollingPercentileTracker(window_seconds=10.0)
+        tracker.observe(0.0, 1.0)
+        tracker.observe(5.0, 2.0)
+        assert tracker.values(now=10.0) == [1.0, 2.0]
+        # One tick past the boundary evicts it.
+        assert tracker.values(now=10.0 + 1e-9) == [2.0]
+        # ...but total_observations survives pruning.
+        assert tracker.total_observations == 2
+        assert len(tracker) == 1
+
+    def test_attainment_over_window(self):
+        tracker = RollingPercentileTracker(window_seconds=10.0)
+        for time, value in ((0.0, 9.0), (6.0, 1.0), (8.0, 2.0)):
+            tracker.observe(time, value)
+        # At now=12 the slow sample at t=0 has aged out.
+        assert tracker.attainment(3.0, now=12.0) == 1.0
+
+    def test_unwindowed_tracker_never_prunes(self):
+        tracker = RollingPercentileTracker(window_seconds=None)
+        tracker.observe(0.0, 1.0)
+        tracker.observe(100.0, 3.0)
+        assert tracker.values(now=1e9) == [1.0, 3.0]
+
+    def test_time_regression_rejected(self):
+        tracker = RollingPercentileTracker(window_seconds=10.0)
+        tracker.observe(5.0, 1.0)
+        with pytest.raises(ConfigError):
+            tracker.observe(4.0, 1.0)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ConfigError):
+            RollingPercentileTracker(window_seconds=0.0)
+        with pytest.raises(ConfigError):
+            RollingPercentileTracker(window_seconds=-1.0)
+
+
+class TestRunReportToJson:
+    def test_none_on_empty_maps_only_valueerror(self):
+        assert none_on_empty(lambda: 3.0) == 3.0
+        assert none_on_empty(lambda: (_ for _ in ()).throw(ValueError())) is None
+
+    def test_empty_report_serializes_with_none_summaries(self):
+        report = RunReport(
+            requests=[], metrics=MetricsCollector(),
+            start_time=0.0, end_time=0.0,
+        )
+        document = report.to_json()
+        assert document["num_requests"] == 0
+        assert document["num_finished"] == 0
+        assert document["requests_per_minute"] is None
+        assert document["median_latency"] is None
+        assert document["p99_ttft"] is None
+        assert document["decode_throughput"] is None
+        assert "prefix_cache" not in document
+        json.dumps(document)  # the whole document must be JSON-able
+
+    def test_populated_report_round_trips_accessors(self):
+        request = Request(request_id="a", prompt_len=10, max_new_tokens=1,
+                          arrival_time=0.0)
+        request.state = RequestState.RUNNING
+        request.record_prefill(now=30.0)
+        request.finish(now=30.0)
+        metrics = MetricsCollector()
+        metrics.record(record("decode", 0.01, tokens=4))
+        report = RunReport(
+            requests=[request], metrics=metrics,
+            start_time=0.0, end_time=60.0,
+        )
+        document = report.to_json()
+        assert document["num_finished"] == 1
+        assert document["makespan"] == 60.0
+        assert document["requests_per_minute"] == pytest.approx(
+            report.requests_per_minute()
+        )
+        assert document["mean_ttft"] == pytest.approx(report.mean_ttft())
+        assert document["decode_throughput"] == pytest.approx(
+            metrics.decode_throughput()
+        )
+        # Prefill never ran: per-phase absence is None, not an error.
+        assert document["prefill_throughput"] is None

@@ -1,0 +1,267 @@
+"""The telemetry registry, its engine bindings, and the off-path.
+
+Three layers of coverage:
+
+* Registry unit tests — instrument creation is get-or-create and
+  kind-checked, counters only go up, histogram percentiles use the
+  shared linear-interpolation estimator, and events + gauge samples
+  share one sequence counter (the total order the trace checker
+  replays).
+* The install point — ``enabled()`` restores whatever was active
+  before, including nesting.
+* Instrumented runs — an experiment produces identical rows with
+  telemetry on and off (instruments observe, never perturb), and the
+  decode fast path contributes the same counter totals as the legacy
+  per-iteration loop while populating the stretch histogram.
+"""
+
+import json
+
+import pytest
+
+import repro.serving.engine as engine_module
+from repro.errors import ConfigError
+from repro.experiments import ext_sched_policy, fig08_decode_throughput
+from repro.metrics.dashboard import render_dashboard, render_json
+from repro.metrics.telemetry import (
+    Gauge,
+    TelemetryRegistry,
+    active,
+    enabled,
+    install,
+    uninstall,
+)
+from repro.models.zoo import YI_6B
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("reqs_total", "r0", "engine")
+        counter.inc()
+        counter.inc(2.0)
+        assert registry.counter("reqs_total", "r0") is counter
+        assert counter.value == 3.0
+
+    def test_counters_only_go_up(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ConfigError):
+            registry.counter("reqs_total").inc(-1.0)
+
+    def test_kind_clash_rejected(self):
+        registry = TelemetryRegistry()
+        registry.counter("token_usage", "r0")
+        with pytest.raises(ConfigError):
+            registry.gauge("token_usage", "r0")
+
+    def test_scope_qualifies_key(self):
+        registry = TelemetryRegistry()
+        a = registry.gauge("num_running_reqs", "r0")
+        b = registry.gauge("num_running_reqs", "r1")
+        assert a is not b
+        assert a.spec.key == "num_running_reqs[r0]"
+        assert registry.get("num_running_reqs", "r1") is b
+        assert registry.get("num_running_reqs", "r7") is None
+
+    def test_gauge_series(self):
+        gauge = TelemetryRegistry().gauge("token_usage")
+        assert gauge.last is None
+        gauge.set(1.0, 0.25)
+        gauge.set(2.0, 0.75)
+        assert gauge.last == 0.75
+        assert gauge.series() == [0.25, 0.75]
+
+    def test_histogram_percentile_interpolation(self):
+        histogram = TelemetryRegistry().histogram("ttft_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # The shared estimator: rank = q/100 * (n-1), linearly
+        # interpolated between the bracketing order statistics.
+        assert histogram.percentile(50.0) == pytest.approx(2.5)
+        assert histogram.percentile(25.0) == pytest.approx(1.75)
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(100.0) == 4.0
+        assert histogram.mean() == pytest.approx(2.5)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+
+    def test_histogram_empty_contract(self):
+        histogram = TelemetryRegistry().histogram("ttft_seconds")
+        with pytest.raises(ValueError):
+            histogram.percentile(50.0)
+        with pytest.raises(ValueError):
+            histogram.mean()
+        assert histogram.summary() is None
+
+    def test_histogram_summary(self):
+        histogram = TelemetryRegistry().histogram("e2e_latency_seconds")
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary == {"count": 1.0, "mean": 3.0, "p50": 3.0, "p99": 3.0}
+
+
+class TestSequencing:
+    def test_events_and_samples_share_one_sequence(self):
+        registry = TelemetryRegistry()
+        registry.emit(0.0, "request_admitted", scope="r0", request="a")
+        registry.gauge("num_running_reqs", "r0").set(0.5, 1.0)
+        registry.emit(1.0, "request_finished", scope="r0", request="a")
+        records = registry.trace_records()
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert [r["event"] for r in records] == [
+            "request_admitted", "sample", "request_finished",
+        ]
+        sample = records[1]
+        assert sample["metric"] == "num_running_reqs"
+        assert sample["scope"] == "r0"
+        assert sample["value"] == 1.0
+        assert sample["time"] == 0.5
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        registry = TelemetryRegistry()
+        registry.emit(0.0, "request_admitted", scope="r0", request="a")
+        registry.gauge("batch_size", "r0").set(0.25, 2.0)
+        path = tmp_path / "trace.jsonl"
+        count = registry.write_jsonl(str(path))
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == (
+            registry.trace_records()
+        )
+
+    def test_to_json_shapes(self):
+        registry = TelemetryRegistry()
+        registry.counter("reqs_total", "r0", "engine", "reqs").inc(5)
+        registry.emit(0.0, "request_admitted", scope="r0", request="a")
+        document = registry.to_json()
+        assert document["events"] == 1
+        assert "trace" not in document
+        [entry] = document["metrics"]
+        assert entry["name"] == "reqs_total"
+        assert entry["value"] == 5.0
+        with_trace = registry.to_json(include_events=True)
+        assert len(with_trace["trace"]) == 1
+        json.dumps(with_trace)  # must be serializable as-is
+
+
+class TestInstallPoint:
+    def test_enabled_restores_previous(self):
+        assert active() is None
+        with enabled() as outer:
+            assert active() is outer
+            with enabled() as inner:
+                assert inner is not outer
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_enabled_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with enabled():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_install_uninstall(self):
+        registry = TelemetryRegistry()
+        try:
+            assert install(registry) is registry
+            assert active() is registry
+        finally:
+            uninstall()
+        assert active() is None
+
+
+def _counters(registry):
+    return {
+        instrument.spec.key: instrument.value
+        for instrument in registry.metrics()
+        if instrument.spec.kind == "counter"
+    }
+
+
+class TestInstrumentedRuns:
+    def test_results_identical_with_telemetry_on(self):
+        baseline = ext_sched_policy.run(count=40, qps=6.0)
+        with enabled() as registry:
+            observed = ext_sched_policy.run(count=40, qps=6.0)
+        # Instruments observe the clock, they never advance it: every
+        # output row — floats included — is unchanged.
+        assert observed == baseline
+        assert registry.events
+        # Each policy cell ran one engine; per-scope admit/finish
+        # totals close over the cell's 40 requests.
+        events = [r["event"] for r in registry.trace_records()]
+        assert events.count("request_finished") > 0
+        for instrument in registry.metrics():
+            if instrument.spec.name == "num_finished_reqs_total":
+                assert instrument.value == 40.0
+
+    def test_fast_forward_counters_match_legacy(self, monkeypatch):
+        def sweep():
+            with enabled() as registry:
+                fig08_decode_throughput.run(
+                    models=[(YI_6B, 1)], batches=(16,),
+                    decode_iterations=60,
+                )
+            return registry
+
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", True)
+        fast = sweep()
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", False)
+        legacy = sweep()
+        # A fast-forwarded stretch books the same iteration, token and
+        # busy-second totals the legacy loop would, in one record.
+        fast_counters = _counters(fast)
+        legacy_counters = _counters(legacy)
+        assert fast_counters.keys() == legacy_counters.keys()
+        for key in legacy_counters:
+            assert fast_counters[key] == pytest.approx(
+                legacy_counters[key]
+            ), key
+        stretches = fast.get("fast_forward_stretch_iterations", "r0")
+        assert stretches is not None and stretches.count > 0
+        # ...and the fast run takes fewer gauge samples (one per
+        # stretch, not one per iteration).
+        def samples(registry):
+            return sum(
+                len(i.samples) for i in registry.metrics()
+                if isinstance(i, Gauge)
+            )
+
+        assert samples(fast) < samples(legacy)
+
+
+class TestDashboard:
+    def test_empty_registry(self):
+        assert render_dashboard(TelemetryRegistry()) == (
+            "telemetry: no metrics recorded"
+        )
+
+    def test_layer_sections_and_instrument_lines(self):
+        registry = TelemetryRegistry()
+        registry.counter(
+            "processed_tokens_total", "r0", "engine", "tok").inc(512)
+        gauge = registry.gauge("num_running_reqs", "r0", "engine", "reqs")
+        for step in range(4):
+            gauge.set(float(step), float(step % 2))
+        registry.histogram("ttft_seconds", "r0", "engine", "s").observe(1.5)
+        registry.emit(0.0, "request_admitted", scope="r0", request="a")
+        text = render_dashboard(registry)
+        assert "telemetry dashboard (1 events)" in text
+        assert "== engine ==" in text
+        assert "processed_tokens_total[r0]" in text
+        assert "num_running_reqs[r0]: last=1" in text
+        assert "ttft_seconds[r0]: n=1" in text
+
+    def test_zero_counters_render_plain(self):
+        registry = TelemetryRegistry()
+        registry.counter("num_preempted_reqs_total", "r0", "engine")
+        text = render_dashboard(registry)
+        assert "num_preempted_reqs_total[r0]: 0" in text
+
+    def test_render_json_parses(self):
+        registry = TelemetryRegistry()
+        registry.gauge("token_usage", "r0", "memory").set(1.0, 0.5)
+        document = json.loads(render_json(registry))
+        assert document["events"] == 0
+        assert document["metrics"][0]["name"] == "token_usage"
