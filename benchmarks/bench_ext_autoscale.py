@@ -10,6 +10,7 @@ import dataclasses
 import json
 
 from repro.experiments import ext_autoscale as driver
+from repro.metrics.telemetry import TelemetryRegistry, enabled
 
 
 def _rows():
@@ -68,6 +69,21 @@ def test_ext_autoscale_deterministic(benchmark):
     assert first.p99_ttft() == second.p99_ttft()
     assert first.scale_events == second.scale_events
     assert first.end_time == second.end_time
+
+
+def test_static_min_attribution(benchmark):
+    def _serve():
+        with enabled(TelemetryRegistry(record_spans=True)):
+            return driver.serve("static_min")
+
+    report = benchmark.pedantic(_serve, rounds=1, iterations=1)
+    attribution = report.latency_attribution
+    assert attribution is not None
+    assert attribution["requests"] == driver.REQUESTS
+    assert attribution["closure_violations"] == 0
+    # The under-provisioned fleet's p99 TTFT tail is queueing, not
+    # compute: requests pile up behind too few replicas during bursts.
+    assert attribution["dominant_p99_ttft_phase"] == "queue_wait"
 
 
 def main() -> None:

@@ -207,8 +207,10 @@ def list_experiments() -> None:
     print(
         "\nrun flags: --telemetry (sim-time metrics + ASCII dashboard), "
         "--trace-out PATH (JSONL event trace), --check-trace (replay "
-        "the trace through the invariant checker; see "
-        "docs/observability.md)"
+        "the trace through the invariant checker), --spans-out PATH "
+        "(per-request span JSONL), --attribution (latency-attribution "
+        "report + span waterfall), --metrics-out PATH (Prometheus text "
+        "exposition; see docs/observability.md)"
     )
 
 
@@ -237,10 +239,14 @@ def catalogue_markdown() -> str:
         "Every `repro run` invocation also accepts observability flags: "
         "`--telemetry` collects sim-time metrics from every layer and "
         "prints an end-of-run ASCII dashboard, `--trace-out PATH` writes "
-        "the merged JSONL event/sample trace, and `--check-trace` "
-        "replays the trace through the cross-layer invariant checker "
-        "(non-zero exit on any violation). See `docs/observability.md` "
-        "for the metric catalog, event schema, and invariant list."
+        "the merged JSONL event/sample trace, `--check-trace` replays "
+        "the trace through the cross-layer invariant checker (non-zero "
+        "exit on any violation), `--spans-out PATH` writes per-request "
+        "span trees as JSONL, `--attribution` prints the latency-"
+        "attribution report plus a span waterfall, and `--metrics-out "
+        "PATH` writes the registry in Prometheus text exposition "
+        "format. See `docs/observability.md` for the metric catalog, "
+        "event schema, span schema, and invariant list."
     )
     return "\n".join(lines)
 
@@ -285,16 +291,24 @@ def run_experiments(
     telemetry_on: bool = False,
     trace_out: Optional[str] = None,
     check_trace: bool = False,
+    spans_out: Optional[str] = None,
+    attribution_on: bool = False,
+    metrics_out: Optional[str] = None,
 ) -> int:
     """Run the named experiments' ``main()`` printers.
 
     With any observability option the experiments run under an
     installed :class:`~repro.metrics.telemetry.TelemetryRegistry`:
     ``telemetry_on`` prints the end-of-run dashboard, ``trace_out``
-    writes the merged JSONL trace, and ``check_trace`` replays the
-    trace through :mod:`repro.metrics.tracecheck` (exit code 1 on any
-    invariant violation). Without them the run is byte-identical to an
-    uninstrumented one.
+    writes the merged JSONL trace, ``check_trace`` replays the trace
+    through :mod:`repro.metrics.tracecheck` (exit code 1 on any
+    invariant violation), ``spans_out`` writes per-request span trees
+    as JSONL, ``attribution_on`` prints the latency-attribution report
+    plus a span waterfall, and ``metrics_out`` writes the registry in
+    Prometheus text exposition format. Span recording switches on
+    exactly when ``spans_out`` or ``attribution_on`` asks for it.
+    Without any flag the run is byte-identical to an uninstrumented
+    one.
     """
     if names == ["all"]:
         selected = list(EXPERIMENTS)
@@ -307,11 +321,15 @@ def run_experiments(
         print("use 'python -m repro list' to see the catalogue", file=sys.stderr)
         return 2
 
+    record_spans = spans_out is not None or attribution_on
     registry = None
-    if telemetry_on or trace_out is not None or check_trace:
+    if (telemetry_on or trace_out is not None or check_trace
+            or record_spans or metrics_out is not None):
         from repro.metrics import telemetry
 
-        registry = telemetry.install(telemetry.TelemetryRegistry())
+        registry = telemetry.install(
+            telemetry.TelemetryRegistry(record_spans=record_spans)
+        )
     try:
         for name in selected:
             experiment = EXPERIMENTS[name]
@@ -336,6 +354,24 @@ def run_experiments(
     if trace_out is not None:
         count = registry.write_jsonl(trace_out)
         print(f"wrote {count} trace records to {trace_out}")
+    if spans_out is not None:
+        from repro.metrics.spans import write_spans_jsonl
+
+        count = write_spans_jsonl(registry.trace_records(), spans_out)
+        print(f"wrote {count} span records to {spans_out}")
+    if attribution_on:
+        from repro.metrics.attribution import build
+        from repro.metrics.dashboard import render_waterfall
+
+        records = registry.trace_records()
+        print("\n=== latency attribution " + "=" * 30)
+        print(build(records).render())
+        print()
+        print(render_waterfall(records))
+    if metrics_out is not None:
+        with open(metrics_out, "w") as handle:
+            handle.write(registry.render_prometheus())
+        print(f"wrote Prometheus metrics to {metrics_out}")
     if check_trace:
         from repro.metrics.tracecheck import check_trace as run_checker
 
@@ -392,6 +428,24 @@ def main(argv: List[str] | None = None) -> int:
         "invariant checker; exit 1 on any violation "
         "(enables telemetry collection)",
     )
+    runner.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        help="write per-request span records as JSONL to PATH "
+        "(enables telemetry and span recording)",
+    )
+    runner.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the span-derived latency-attribution report and "
+        "waterfall (enables telemetry and span recording)",
+    )
+    runner.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the telemetry registry in Prometheus text "
+        "exposition format to PATH (enables telemetry collection)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         if args.check:
@@ -408,6 +462,9 @@ def main(argv: List[str] | None = None) -> int:
         telemetry_on=args.telemetry,
         trace_out=args.trace_out,
         check_trace=args.check_trace,
+        spans_out=args.spans_out,
+        attribution_on=args.attribution,
+        metrics_out=args.metrics_out,
     )
 
 

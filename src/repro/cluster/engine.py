@@ -51,6 +51,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
+from ..metrics import attribution
 from ..metrics.rolling import RollingPercentileTracker
 from ..metrics.telemetry import ClusterTelemetry
 from ..metrics.telemetry import active as active_telemetry
@@ -425,7 +426,8 @@ class ClusterEngine:
         if self._telemetry is not None:
             for replica in self.replicas:
                 self._telemetry.replica_init(
-                    0.0, replica.index, replica.role, replica.state.value
+                    0.0, replica.index, replica.role, replica.state.value,
+                    scope=self._engine_scope(replica),
                 )
         self._events = EventQueue()
         for request in sorted(self._submitted, key=lambda r: r.arrival_time):
@@ -636,6 +638,12 @@ class ClusterEngine:
         """Replicas currently in the routing set."""
         return sum(1 for r in self.replicas if r.is_serving)
 
+    @staticmethod
+    def _engine_scope(replica: Replica) -> str:
+        """The replica engine's telemetry scope ("" when untraced)."""
+        telemetry = replica.engine.telemetry
+        return telemetry.scope if telemetry is not None else ""
+
     def _timeline(
         self, time: float, action: str, replica: int, reason: str = ""
     ) -> None:
@@ -775,6 +783,15 @@ class ClusterEngine:
         self.replicas.append(replica)
         self._route_targets.append(replica)
         self._timeline(now, "provision", replica.index, reason)
+        if self._telemetry is not None:
+            # After the timeline event: the state checker accepts a
+            # first-seen replica_state of "provisioning", and the init
+            # record then binds the fresh engine scope to this cluster
+            # for span stitching.
+            self._telemetry.replica_init(
+                now, replica.index, replica.role, replica.state.value,
+                scope=self._engine_scope(replica),
+            )
         boot = now + self.config.cold_start_seconds
         self._events.push(
             boot, EventKind.SCALE_UP, (replica, ReplicaState.WARMING)
@@ -839,9 +856,17 @@ class ClusterEngine:
                 billed_seconds = record.migration_seconds + (done - start)
                 transfer = None
                 if self._telemetry is not None:
+                    # The re-route span covers drain → re-dispatch and
+                    # carries the request's original arrival (the
+                    # re-routed record no longer shows it); the KV leg
+                    # nests under it via the parent link.
+                    reroute = self._telemetry.drain_reroute(
+                        now, request.request_id, done,
+                        record.arrival_time, victim.index,
+                    )
                     transfer = self._telemetry.migration_start(
                         now, request.request_id, "drain",
-                        nbytes, start, done,
+                        nbytes, start, done, span_parent=reroute,
                     )
                 self._drain_migrations[request.request_id] = (
                     billed_bytes,
@@ -862,6 +887,15 @@ class ClusterEngine:
                     record.migration_seconds,
                     0,
                     None,
+                )
+            if extra <= 0 and self._telemetry is not None:
+                # Nothing crossed the link, but the (instant) re-route
+                # span still records the original arrival — without it
+                # attribution could not restore the pre-drain queue
+                # wait of the re-routed request.
+                self._telemetry.drain_reroute(
+                    now, request.request_id, when,
+                    record.arrival_time, victim.index,
                 )
             # Causality: the request re-enters the timeline at the
             # re-dispatch (or KV-landing) instant — never at its
@@ -946,7 +980,24 @@ class ClusterEngine:
             scale_events=tuple(self._scale_events),
             slo_samples=tuple(self._slo_samples),
             peak_serving=self._peak_serving,
+            latency_attribution=self._latency_attribution(),
         )
         if self._telemetry is not None:
             self._telemetry.on_report(report)
         return report
+
+    def _latency_attribution(self) -> Optional[dict]:
+        """Fleet-wide attribution summary (spans-on runs only).
+
+        Replica-engine spans fold into this cluster's domain through
+        the ``replica_init`` scope bindings, so disagg stage clones and
+        drain re-routes stitch back into logical requests.
+        """
+        if self._telemetry is None:
+            return None
+        registry = self._telemetry.registry
+        if not registry.record_spans:
+            return None
+        return attribution.build(
+            registry.events, domains={self._telemetry.scope}
+        ).to_json()

@@ -104,6 +104,10 @@ class ClusterReport:
     #: Most replicas simultaneously SERVING at any instant, tracked by
     #: the engine (0 = not recorded: fall back to the fleet size).
     peak_serving: int = 0
+    #: Span-derived phase breakdown over logical requests
+    #: (:meth:`repro.metrics.attribution.AttributionReport.to_json`);
+    #: ``None`` unless the run recorded spans.
+    latency_attribution: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -244,7 +248,7 @@ class ClusterReport:
         <repro.metrics.collector.RunReport.to_json>`). Summaries with
         no data serialize as ``None``.
         """
-        return {
+        document: Dict[str, Any] = {
             "n_replicas": self.n_replicas,
             "routing_policy": self.routing_policy,
             "disaggregated": self.disaggregated,
@@ -283,3 +287,6 @@ class ClusterReport:
                 report.to_json() for report in self.replica_reports
             ],
         }
+        if self.latency_attribution is not None:
+            document["latency_attribution"] = self.latency_attribution
+        return document

@@ -1,0 +1,393 @@
+"""Latency attribution: where each request's time went, additively.
+
+Built on the span layer (:mod:`repro.metrics.spans`): for every
+*logical* request — disagg stage clones stitched by
+:func:`~repro.metrics.spans.base_request_id`, replica scopes folded
+into their owning cluster via ``replica_init`` events — the analyzer
+partitions the interval ``[arrival, finish]`` into labelled segments
+and sums them into additive phase buckets:
+
+``queue_wait``, ``admission``, ``prefill``, ``decode``, ``preempted``,
+``kv_migration``, ``drain_reroute``, plus ``batch_wait`` — the gap
+filler for time a request sat *inside* the running batch without its
+phase advancing (e.g. decodes stalled behind another request's
+monolithic prefill).
+
+Gaps between spans are classified by what the request was waiting
+*for*: a gap leading into a queueing-side phase (``queue_wait``,
+``admission``, ``kv_migration``, ``drain_reroute``) counts as queue
+wait — this restores the pre-drain wait of a re-routed request, whose
+span tree only starts again at re-dispatch — while a gap leading into
+a compute phase is ``batch_wait``. Drain-leg ``kv_migration`` spans
+are subtracted from their ``drain_reroute`` parent, so nested time is
+never double-counted.
+
+The partition is the whole point: per request, the buckets sum to the
+measured e2e latency (and, clipped at the first token, to TTFT) up to
+float round-off — :data:`CLOSURE_TOL` relative — which is asserted by
+the tracecheck span family and the catalogue attribution gate. On top
+of the per-request decomposition the report aggregates per-phase
+p50/p99 fleet-wide and per replica, and names the phase that dominates
+the p99 tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import fsum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .spans import (
+    PHASE_ADMISSION,
+    PHASE_DECODE,
+    PHASE_DRAIN_REROUTE,
+    PHASE_KV_MIGRATION,
+    PHASE_PREEMPTED,
+    PHASE_PREFILL,
+    PHASE_QUEUE_WAIT,
+    PHASE_REQUEST,
+    Span,
+    base_request_id,
+    spans_from,
+)
+from .stats import mean, percentile
+
+#: Gap-fill bucket: in-batch time whose phase did not advance.
+BUCKET_BATCH_WAIT = "batch_wait"
+
+#: Every attribution bucket, in lifecycle order (also the tie-break
+#: order for dominance queries).
+BUCKETS = (
+    PHASE_QUEUE_WAIT,
+    PHASE_ADMISSION,
+    PHASE_PREFILL,
+    BUCKET_BATCH_WAIT,
+    PHASE_DECODE,
+    PHASE_PREEMPTED,
+    PHASE_KV_MIGRATION,
+    PHASE_DRAIN_REROUTE,
+)
+
+#: Phases a request waits *for* from outside the batch: a gap leading
+#: into one of these is queue wait, not an in-batch stall.
+_QUEUEING_PHASES = frozenset({
+    PHASE_QUEUE_WAIT, PHASE_ADMISSION, PHASE_KV_MIGRATION,
+    PHASE_DRAIN_REROUTE,
+})
+
+#: Relative closure tolerance: per-request bucket sums must match the
+#: measured wall time to float round-off.
+CLOSURE_TOL = 1e-9
+
+#: One labelled slice of a request's timeline.
+Segment = Tuple[float, float, str]
+
+
+@dataclass(frozen=True)
+class RequestAttribution:
+    """One logical request's additive latency decomposition."""
+
+    request: str
+    #: Cluster scope for fleet runs, engine scope for standalone runs.
+    domain: str
+    #: Engine scope of the replica that decoded the request ("" if the
+    #: request never reached decode).
+    replica_scope: str
+    arrival: float
+    first_token: Optional[float]
+    finish: float
+    #: Phase bucket -> seconds, partitioning ``[arrival, finish]``.
+    buckets: Dict[str, float] = field(default_factory=dict)
+    #: The same partition clipped to ``[arrival, first_token]``.
+    ttft_buckets: Optional[Dict[str, float]] = None
+    #: ``sum(buckets) - e2e``: float round-off when well-formed,
+    #: material when spans overlap or escape the request window.
+    closure_error: float = 0.0
+
+    @property
+    def e2e(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def ttft(self) -> Optional[float]:
+        if self.first_token is None:
+            return None
+        return self.first_token - self.arrival
+
+    def closed(self, tol: float = CLOSURE_TOL) -> bool:
+        """Do the buckets close to the wall time (within ``tol``)?"""
+        return abs(self.closure_error) <= tol * max(1.0, abs(self.e2e))
+
+
+def _segments(arrival: float, finish: float, top: List[Span],
+              children: Dict[int, List[Span]]) -> List[Segment]:
+    """Partition ``[arrival, finish]`` along the request's spans.
+
+    Top-level spans are walked in start order; uncovered gaps are
+    classified by the phase they lead into, child spans carve their
+    interval out of the parent's, and a trailing gap (none, for a
+    well-formed tree) falls to ``batch_wait``. Overlaps are clipped so
+    the result is always a partition — the span checker, not this
+    walk, is what flags ill-formed overlap.
+    """
+    segments: List[Segment] = []
+    pos = arrival
+    for span in sorted(top, key=lambda s: (s.start, s.end, s.span)):
+        begin = max(span.start, pos)
+        end = min(span.end, finish)
+        if end <= begin:
+            continue
+        if begin > pos:
+            gap = (
+                PHASE_QUEUE_WAIT if span.phase in _QUEUEING_PHASES
+                else BUCKET_BATCH_WAIT
+            )
+            segments.append((pos, begin, gap))
+        kids = sorted(
+            children.get(span.span, ()), key=lambda s: (s.start, s.end)
+        )
+        kpos = begin
+        for kid in kids:
+            kbegin = max(kid.start, kpos)
+            kend = min(kid.end, end)
+            if kend <= kbegin:
+                continue
+            if kbegin > kpos:
+                segments.append((kpos, kbegin, span.phase))
+            segments.append((kbegin, kend, kid.phase))
+            kpos = kend
+        if end > kpos:
+            segments.append((kpos, end, span.phase))
+        pos = end
+    if finish > pos:
+        segments.append((pos, finish, BUCKET_BATCH_WAIT))
+    return segments
+
+
+def _clip(segments: List[Segment], lo: float, hi: float) -> List[Segment]:
+    out: List[Segment] = []
+    for start, end, bucket in segments:
+        start, end = max(start, lo), min(end, hi)
+        if end > start:
+            out.append((start, end, bucket))
+    return out
+
+
+def _bucket(segments: List[Segment]) -> Dict[str, float]:
+    parts: Dict[str, List[float]] = {bucket: [] for bucket in BUCKETS}
+    for start, end, bucket in segments:
+        parts[bucket].append(end - start)
+    return {bucket: fsum(values) for bucket, values in parts.items()}
+
+
+def _attribute(domain: str, request_id: str,
+               group: List[Span]) -> Optional[RequestAttribution]:
+    roots = [s for s in group if s.phase == PHASE_REQUEST]
+    if not roots:
+        return None  # never finished inside the trace
+    leaves = [s for s in group if s.phase != PHASE_REQUEST]
+    children: Dict[int, List[Span]] = {}
+    top: List[Span] = []
+    for span in leaves:
+        if span.parent is not None:
+            children.setdefault(span.parent, []).append(span)
+        else:
+            top.append(span)
+    arrival = min(s.start for s in group)
+    for span in group:
+        original = span.extras.get("original_arrival")
+        if original is not None and original < arrival:
+            arrival = original
+    finish = max(s.end for s in roots)
+    first_token: Optional[float] = None
+    for span in roots:
+        token = span.extras.get("first_token")
+        if token is not None:
+            first_token = (
+                token if first_token is None else min(first_token, token)
+            )
+    replica_scope = ""
+    for span in leaves:
+        if span.phase == PHASE_DECODE:
+            replica_scope = span.scope
+    segments = _segments(arrival, finish, top, children)
+    buckets = _bucket(segments)
+    closure_error = (
+        fsum(end - start for start, end, _ in segments)
+        - (finish - arrival)
+    )
+    ttft_buckets = None
+    if first_token is not None:
+        ttft_buckets = _bucket(_clip(segments, arrival, first_token))
+    return RequestAttribution(
+        request=request_id, domain=domain, replica_scope=replica_scope,
+        arrival=arrival, first_token=first_token, finish=finish,
+        buckets=buckets, ttft_buckets=ttft_buckets,
+        closure_error=closure_error,
+    )
+
+
+def build(records: Iterable[Dict[str, Any]],
+          domains: Optional[Iterable[str]] = None,
+          tol: float = CLOSURE_TOL) -> "AttributionReport":
+    """Attribute every logical request found in a trace.
+
+    ``records`` is any iterable of trace records (``registry.events``
+    or a parsed JSONL trace); ``domains`` optionally restricts to one
+    cluster or standalone-engine scope (the natural filter when a
+    sweep ran many engines through one registry).
+    """
+    records = list(records)
+    cluster_of: Dict[str, str] = {}
+    for record in records:
+        if record.get("event") == "replica_init" and record.get("scope"):
+            cluster_of[record["scope"]] = record["cluster"]
+    wanted = None if domains is None else set(domains)
+    groups: Dict[Tuple[str, str], List[Span]] = {}
+    for span in spans_from(records):
+        domain = cluster_of.get(span.scope, span.scope)
+        if wanted is not None and domain not in wanted:
+            continue
+        key = (domain, base_request_id(span.request))
+        groups.setdefault(key, []).append(span)
+    requests = []
+    for (domain, request_id), group in sorted(groups.items()):
+        attribution = _attribute(domain, request_id, group)
+        if attribution is not None:
+            requests.append(attribution)
+    return AttributionReport(requests=requests, tol=tol)
+
+
+@dataclass
+class AttributionReport:
+    """Fleet-wide view over per-request attributions."""
+
+    requests: List[RequestAttribution]
+    tol: float = CLOSURE_TOL
+
+    def closure_violations(self) -> List[RequestAttribution]:
+        """Requests whose buckets do not close to their wall time."""
+        return [r for r in self.requests if not r.closed(self.tol)]
+
+    # ------------------------------------------------------------------
+    def _rows(self, metric: str) -> List[RequestAttribution]:
+        if metric == "ttft":
+            return [r for r in self.requests if r.ttft_buckets is not None]
+        return self.requests
+
+    @staticmethod
+    def _metric_value(row: RequestAttribution, metric: str) -> float:
+        return row.ttft if metric == "ttft" else row.e2e
+
+    @staticmethod
+    def _buckets(row: RequestAttribution, metric: str) -> Dict[str, float]:
+        return row.ttft_buckets if metric == "ttft" else row.buckets
+
+    def phase_summary(self, metric: str = "e2e") -> Dict[str, Dict[str, float]]:
+        """Per-bucket total/share/mean/p50/p99 over ``e2e`` or ``ttft``."""
+        rows = self._rows(metric)
+        if not rows:
+            return {}
+        grand_total = fsum(self._metric_value(r, metric) for r in rows)
+        summary: Dict[str, Dict[str, float]] = {}
+        for bucket in BUCKETS:
+            values = [self._buckets(r, metric)[bucket] for r in rows]
+            total = fsum(values)
+            summary[bucket] = {
+                "total": total,
+                "share": total / grand_total if grand_total else 0.0,
+                "mean": mean(values),
+                "p50": percentile(values, 50.0),
+                "p99": percentile(values, 99.0),
+            }
+        return summary
+
+    def dominant_tail_phase(self, metric: str = "ttft",
+                            q: float = 99.0) -> Optional[str]:
+        """The bucket holding the most time in the metric's q-tail."""
+        rows = self._rows(metric)
+        if not rows:
+            return None
+        threshold = percentile(
+            [self._metric_value(r, metric) for r in rows], q
+        )
+        tail = [
+            r for r in rows if self._metric_value(r, metric) >= threshold
+        ] or rows
+        totals = {
+            bucket: fsum(self._buckets(r, metric)[bucket] for r in tail)
+            for bucket in BUCKETS
+        }
+        return max(BUCKETS, key=lambda bucket: totals[bucket])
+
+    def by_replica(self) -> Dict[str, List[RequestAttribution]]:
+        """Requests grouped by the replica scope that decoded them."""
+        groups: Dict[str, List[RequestAttribution]] = {}
+        for row in self.requests:
+            groups.setdefault(
+                row.replica_scope or row.domain, []
+            ).append(row)
+        return {scope: groups[scope] for scope in sorted(groups)}
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The report as a JSON-able summary (embedded in run reports)."""
+        return {
+            "requests": len(self.requests),
+            "closure_tol": self.tol,
+            "closure_violations": len(self.closure_violations()),
+            "e2e": self.phase_summary("e2e"),
+            "ttft": self.phase_summary("ttft"),
+            "dominant_p99_ttft_phase": self.dominant_tail_phase("ttft"),
+            "dominant_p99_e2e_phase": self.dominant_tail_phase("e2e"),
+        }
+
+    def render(self) -> str:
+        """A fixed-width text summary for the CLI ``--attribution`` flag."""
+        if not self.requests:
+            return "latency attribution: no finished requests traced"
+        violations = self.closure_violations()
+        lines = [
+            f"latency attribution ({len(self.requests)} requests, "
+            + (
+                "all phase sums close to wall time)"
+                if not violations
+                else f"{len(violations)} CLOSURE VIOLATIONS)"
+            ),
+            f"  {'phase':<13} {'e2e share':>9} {'p50':>8} {'p99':>8}"
+            f"   {'ttft share':>10} {'p50':>8} {'p99':>8}",
+        ]
+        e2e = self.phase_summary("e2e")
+        ttft = self.phase_summary("ttft")
+        for bucket in BUCKETS:
+            row = e2e[bucket]
+            if row["total"] == 0.0 and (
+                not ttft or ttft[bucket]["total"] == 0.0
+            ):
+                continue
+            ttft_cells = (
+                f"   {ttft[bucket]['share']:>10.1%}"
+                f" {ttft[bucket]['p50']:>7.3f}s"
+                f" {ttft[bucket]['p99']:>7.3f}s"
+                if ttft else ""
+            )
+            lines.append(
+                f"  {bucket:<13} {row['share']:>9.1%}"
+                f" {row['p50']:>7.3f}s {row['p99']:>7.3f}s" + ttft_cells
+            )
+        tail_ttft = self.dominant_tail_phase("ttft")
+        tail_e2e = self.dominant_tail_phase("e2e")
+        if tail_ttft is not None:
+            lines.append(
+                f"  p99 tail dominated by: {tail_ttft} (ttft), "
+                f"{tail_e2e} (e2e)"
+            )
+        replicas = self.by_replica()
+        if len(replicas) > 1:
+            for scope, rows in replicas.items():
+                scoped = AttributionReport(requests=rows, tol=self.tol)
+                lines.append(
+                    f"    {scope}: {len(rows)} reqs, p99 ttft tail "
+                    f"{scoped.dominant_tail_phase('ttft')}"
+                )
+        return "\n".join(lines)

@@ -148,6 +148,10 @@ class RunReport:
     #: (:class:`~repro.cache.manager.PrefixCacheReport`); ``None`` when
     #: the engine ran without the cache.
     prefix_cache: Optional[object] = None
+    #: Span-derived phase breakdown
+    #: (:meth:`repro.metrics.attribution.AttributionReport.to_json`);
+    #: ``None`` unless the run recorded spans.
+    latency_attribution: Optional[Dict[str, Any]] = None
 
     @property
     def makespan(self) -> float:
@@ -235,4 +239,6 @@ class RunReport:
             self.prefix_cache
         ):
             document["prefix_cache"] = dataclasses.asdict(self.prefix_cache)
+        if self.latency_attribution is not None:
+            document["latency_attribution"] = self.latency_attribution
         return document

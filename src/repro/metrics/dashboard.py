@@ -7,14 +7,20 @@ primitives in :mod:`repro.metrics.ascii_plot`. The JSON form is just
 :meth:`TelemetryRegistry.to_json
 <repro.metrics.telemetry.TelemetryRegistry.to_json>`, kept here only
 so both renderings share one entry point.
+
+Spans-on runs additionally get :func:`render_waterfall` — a Gantt view
+of the slowest requests' span trees, one row per phase, scaled to the
+request's end-to-end window.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+import math
+from typing import Any, Dict, Iterable, List, Tuple
 
 from .ascii_plot import bar_chart, sparkline
+from .spans import PHASE_REQUEST, Span, iter_spans
 from .telemetry import LAYERS, Counter, Gauge, Histogram, TelemetryRegistry
 
 #: Gauge sparklines downsample to this many points.
@@ -85,3 +91,60 @@ def render_dashboard(registry: TelemetryRegistry, width: int = 40) -> str:
 def render_json(registry: TelemetryRegistry, indent: int = 2) -> str:
     """The registry's state as a JSON document string."""
     return json.dumps(registry.to_json(), indent=indent, sort_keys=True)
+
+
+def render_waterfall(
+    records: Iterable[Dict[str, Any]],
+    limit: int = 5,
+    width: int = 56,
+) -> str:
+    """ASCII Gantt of the slowest requests' span trees.
+
+    One row per phase: all of a phase's spans (thousands of
+    per-iteration decode spans, say) collapse onto a single track whose
+    filled cells mark the sim-time the phase covered within the
+    request's end-to-end window. Rows are ordered by the phase's first
+    appearance, and each carries the phase's summed duration.
+    """
+    groups: Dict[Tuple[str, str], List[Span]] = {}
+    for span in iter_spans(records):
+        groups.setdefault((span.scope, span.request), []).append(span)
+    roots: List[Tuple[Span, List[Span]]] = []
+    for group in groups.values():
+        for span in group:
+            if span.phase == PHASE_REQUEST:
+                roots.append((span, group))
+    if not roots:
+        return "span waterfall: no request spans recorded"
+    roots.sort(key=lambda pair: (-pair[0].duration,
+                                 pair[0].scope, pair[0].request))
+
+    shown = min(limit, len(roots))
+    lines = [f"span waterfall: {shown} slowest of {len(roots)} requests"]
+    for root, group in roots[:limit]:
+        extent = root.duration or 1.0
+        lines.append(
+            f"{root.scope}/{root.request}  e2e={root.duration:.4g}s  "
+            f"[{root.start:.4g} .. {root.end:.4g}]"
+        )
+        # phase -> [track cells, summed duration, first start].
+        tracks: Dict[str, List[Any]] = {}
+        for span in sorted(group, key=lambda s: (s.start, s.end)):
+            if span.phase == PHASE_REQUEST:
+                continue
+            track = tracks.setdefault(
+                span.phase, [bytearray(width), 0.0, span.start]
+            )
+            lo = int((span.start - root.start) / extent * width)
+            hi = int(math.ceil((span.end - root.start) / extent * width))
+            lo = max(0, min(width - 1, lo))
+            hi = max(lo + 1, min(width, hi))
+            for cell in range(lo, hi):
+                track[0][cell] = 1
+            track[1] += span.duration
+        for phase, (cells, total, _first) in sorted(
+            tracks.items(), key=lambda item: item[1][2]
+        ):
+            bar = "".join("█" if cell else "·" for cell in cells)
+            lines.append(f"  {phase:<13} {total:>10.4g}s |{bar}|")
+    return "\n".join(lines)

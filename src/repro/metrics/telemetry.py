@@ -148,7 +148,7 @@ class Histogram:
 class TelemetryRegistry:
     """All instruments and events of one observed run."""
 
-    def __init__(self) -> None:
+    def __init__(self, record_spans: bool = False) -> None:
         self._metrics: Dict[str, Any] = {}
         #: Structured events in emission order (each a JSON-able dict
         #: with at least ``seq``, ``time`` and ``event``).
@@ -158,6 +158,13 @@ class TelemetryRegistry:
         self._seq = itertools.count()
         self._engine_ids = itertools.count()
         self._cluster_ids = itertools.count()
+        #: Opt-in per-request span tracing (``--spans-out`` /
+        #: ``--attribution``). Spans ride in :attr:`events` and share
+        #: the sequence counter, so they interleave with events and
+        #: samples in the JSONL trace; off by default because every
+        #: span is one more record per request-phase per iteration.
+        self.record_spans = record_spans
+        self._span_ids = itertools.count()
 
     # ------------------------------------------------------------------
     # Instrument creation (get-or-create, kind-checked)
@@ -215,6 +222,33 @@ class TelemetryRegistry:
         record.update(fields)
         self.events.append(record)
         return record
+
+    def emit_span(self, *, phase: str, start: float, end: float,
+                  scope: str = "", request: str = "",
+                  parent: Optional[int] = None,
+                  **extras: Any) -> Optional[int]:
+        """Append one span record (no-op unless :attr:`record_spans`).
+
+        A span is an interval of a request's life on simulated time.
+        It is stamped at its *end* (``time == end``) so spans sequence
+        into the trace at the instant the engine knew the phase was
+        over — after the events that opened it, before the gauge
+        samples that observe its effect. Returns the span id (for
+        parent links), or ``None`` when spans are off.
+        """
+        if not self.record_spans:
+            return None
+        span = next(self._span_ids)
+        record: Dict[str, Any] = {
+            "seq": next(self._seq), "time": end, "event": "span",
+            "span": span, "phase": phase, "scope": scope,
+            "request": request, "start": start, "end": end,
+        }
+        if parent is not None:
+            record["parent"] = parent
+        record.update(extras)
+        self.events.append(record)
+        return span
 
     # ------------------------------------------------------------------
     # Engine / cluster bindings
@@ -287,6 +321,80 @@ class TelemetryRegistry:
             document["trace"] = self.trace_records()
         return document
 
+    #: Histogram upper bounds for the Prometheus exposition: one fixed
+    #: log-ish ladder wide enough for seconds and iteration counts.
+    PROMETHEUS_BUCKETS = (
+        0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0,
+        10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    )
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters become ``_total`` series, gauges expose their last
+        sampled value, histograms expand into cumulative ``_bucket``
+        series plus ``_sum`` / ``_count``. ``scope`` and ``layer``
+        become labels, names are prefixed ``repro_``, and families are
+        emitted in sorted order so the snapshot is deterministic.
+        """
+        lines: List[str] = []
+        emitted_headers = set()
+
+        def labels(spec: MetricSpec, extra: str = "") -> str:
+            parts = []
+            if spec.layer:
+                parts.append(f'layer="{spec.layer}"')
+            if spec.scope:
+                parts.append(f'scope="{spec.scope}"')
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        def header(family: str, kind: str, spec: MetricSpec) -> None:
+            if family in emitted_headers:
+                return
+            emitted_headers.add(family)
+            help_text = spec.name + (f" ({spec.unit})" if spec.unit else "")
+            lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {kind}")
+
+        for instrument in self.metrics():  # sorted by key: families group
+            spec = instrument.spec
+            family = f"repro_{spec.name}"
+            if isinstance(instrument, Counter):
+                if not family.endswith("_total"):
+                    family += "_total"
+                header(family, "counter", spec)
+                lines.append(f"{family}{labels(spec)} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                if instrument.last is None:
+                    continue
+                header(family, "gauge", spec)
+                lines.append(f"{family}{labels(spec)} {instrument.last}")
+            else:
+                header(family, "histogram", spec)
+                values = sorted(instrument.values)
+                cumulative = 0
+                for bound in self.PROMETHEUS_BUCKETS:
+                    while (cumulative < len(values)
+                           and values[cumulative] <= bound):
+                        cumulative += 1
+                    le = 'le="%g"' % bound
+                    lines.append(
+                        f"{family}_bucket{labels(spec, le)} {cumulative}"
+                    )
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{family}_bucket{labels(spec, inf)} {len(values)}"
+                )
+                lines.append(
+                    f"{family}_sum{labels(spec)} {instrument.total}"
+                )
+                lines.append(
+                    f"{family}_count{labels(spec)} {instrument.count}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
 
 # ----------------------------------------------------------------------
 # The global install point (the DEFAULT_FAST_FORWARD pattern): engines
@@ -352,6 +460,12 @@ class EngineTelemetry:
             "num_running_reqs", scope, "engine", "reqs")
         self.queued = registry.gauge(
             "num_queue_reqs", scope, "engine", "reqs")
+        #: Resident context tokens across the running batch. (The
+        #: pool-occupancy *fraction* backends report is
+        #: ``kv_pool_usage``; this engine-level count is what the trace
+        #: checker can re-derive exactly from events plus spans.)
+        self.token_usage = registry.gauge(
+            "token_usage", scope, "engine", "tok")
         self.batch = registry.gauge("batch_size", scope, "engine", "reqs")
         self.throughput = registry.gauge(
             "gen_throughput", scope, "engine", "tok/s")
@@ -378,25 +492,70 @@ class EngineTelemetry:
         #: totals (evictions, swap bytes) become registry counters by
         #: delta without the backend keeping telemetry state.
         self._cumulative: Dict[str, float] = {}
+        #: Open ``preempted`` span starts, closed at re-admission.
+        self._open_preempts: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
     def _kv_bytes(engine, tokens: int) -> int:
         return tokens * engine.config.shard.kv_bytes_per_token
 
-    def on_admit(self, engine, request) -> None:
-        """A request entered the running batch."""
+    def on_queued(self, engine, request) -> None:
+        """A request entered the waiting queue (arrival ingested)."""
+        self.registry.emit(
+            engine.clock.now, "request_queued",
+            scope=self.scope, request=request.request_id,
+            arrival=request.arrival_time,
+        )
+
+    def on_withdrawn(self, engine, request) -> None:
+        """A queued, never-admitted request was withdrawn (drain)."""
+        self.registry.emit(
+            engine.clock.now, "request_withdrawn",
+            scope=self.scope, request=request.request_id,
+        )
+
+    def on_admit(self, engine, request, picked: Optional[float] = None) -> None:
+        """A request entered the running batch.
+
+        ``picked`` is the clock at the instant the scheduler chose the
+        request — before the backend admit and any swap-in restore
+        advanced time. It closes the queue-wait (or preempted) span;
+        the remainder up to ``now`` is the ``admission`` span.
+        """
+        now = engine.clock.now
+        if picked is None:
+            picked = now
         self.admits.inc()
         self.registry.emit(
-            engine.clock.now, "request_admitted",
+            now, "request_admitted",
             scope=self.scope, request=request.request_id,
             arrival=request.arrival_time,
             prompt_len=request.prompt_len,
             total_len=request.total_len,
+            tokens_reserved=request.resident_tokens_needed,
             kv_bytes_reserved=self._kv_bytes(
                 engine, request.resident_tokens_needed
             ),
         )
+        if self.registry.record_spans:
+            preempted_at = self._open_preempts.pop(request.request_id, None)
+            if preempted_at is not None:
+                self.registry.emit_span(
+                    phase="preempted", start=preempted_at, end=picked,
+                    scope=self.scope, request=request.request_id,
+                )
+            else:
+                self.registry.emit_span(
+                    phase="queue_wait", start=request.arrival_time,
+                    end=picked, scope=self.scope,
+                    request=request.request_id,
+                )
+            if now > picked:
+                self.registry.emit_span(
+                    phase="admission", start=picked, end=now,
+                    scope=self.scope, request=request.request_id,
+                )
 
     def on_preempt(self, engine, victim) -> None:
         """A running request was evicted (recompute or swap)."""
@@ -405,8 +564,11 @@ class EngineTelemetry:
             engine.clock.now, "request_preempted",
             scope=self.scope, request=victim.request_id,
             mode="swap" if victim.swapped else "recompute",
+            tokens_freed=victim.context_len,
             kv_bytes_freed=self._kv_bytes(engine, victim.context_len),
         )
+        if self.registry.record_spans:
+            self._open_preempts[victim.request_id] = engine.clock.now
 
     def on_finish(self, engine, request) -> None:
         """A request completed (emitted before any retire hook runs)."""
@@ -430,6 +592,41 @@ class EngineTelemetry:
             ),
             kv_bytes_released=self._kv_bytes(engine, request.context_len),
         )
+        if self.registry.record_spans:
+            self.registry.emit_span(
+                phase="request", start=request.arrival_time, end=finish,
+                scope=self.scope, request=request.request_id,
+                first_token=request.first_token_time,
+            )
+
+    def on_iteration_spans(self, engine, record, prefill=None, chunk=0,
+                           decodes=()) -> None:
+        """Emit compute spans for one iteration (or stretch).
+
+        Called by the engine *before* :meth:`on_iteration`, so a
+        request's produced-token deltas land ahead of the iteration's
+        gauge samples in the trace — the order the checker's
+        ``token_usage`` reconstruction replays. A fast-forwarded
+        stretch passes its whole batch as ``decodes`` and contributes
+        one span per request with the stretch's iteration count.
+        """
+        if not self.registry.record_spans:
+            return
+        start = record.start_time
+        end = engine.clock.now
+        if prefill is not None:
+            self.registry.emit_span(
+                phase="prefill", start=start, end=end,
+                scope=self.scope, request=prefill.request_id,
+                chunk=chunk, produced=1 if prefill.prefill_done else 0,
+            )
+        for request in decodes:
+            self.registry.emit_span(
+                phase="decode", start=start, end=end,
+                scope=self.scope, request=request.request_id,
+                iterations=record.iterations,
+                produced=record.iterations,
+            )
 
     def on_iteration(self, engine, record) -> None:
         """One iteration record landed (possibly a fast-forward stretch).
@@ -443,6 +640,10 @@ class EngineTelemetry:
         now = engine.clock.now
         self.running.set(now, float(len(engine._running)))
         self.queued.set(now, float(len(engine._waiting)))
+        self.token_usage.set(now, float(sum(
+            request.prompt_len + request.generated
+            for request in engine._running
+        )))
         self.batch.set(now, float(record.batch_size))
         if record.latency > 0:
             self.throughput.set(now, record.tokens / record.latency)
@@ -545,10 +746,16 @@ class ClusterTelemetry:
         ).inc()
 
     def replica_init(self, time: float, replica: int, role: str,
-                     state: str) -> None:
+                     state: str, scope: str = "") -> None:
+        """One replica joined the fleet.
+
+        ``scope`` is the replica engine's registry scope (``r3``),
+        recorded so trace consumers can stitch engine-scope spans back
+        to the cluster that owns the replica.
+        """
         self.registry.emit(
             time, "replica_init", cluster=self.scope,
-            replica=replica, role=role, state=state,
+            replica=replica, role=role, state=state, scope=scope,
         )
 
     def replica_state(self, time: float, action: str, replica: int,
@@ -591,8 +798,15 @@ class ClusterTelemetry:
             self.slo_p99.set(now, p99_ttft)
 
     def migration_start(self, requested: float, request_id: str, kind: str,
-                        nbytes: int, start: float, done: float) -> int:
-        """A KV transfer entered the link; returns its transfer id."""
+                        nbytes: int, start: float, done: float,
+                        span_parent: Optional[int] = None) -> int:
+        """A KV transfer entered the link; returns its transfer id.
+
+        With spans on, the transfer also becomes a ``kv_migration``
+        span over ``[requested, done]`` — queueing for the link plus
+        the wire time — parented under ``span_parent`` when the leg
+        belongs to a drain re-route.
+        """
         transfer = next(self._transfer_ids)
         self.migrations.inc()
         self.migrated.inc(nbytes)
@@ -605,7 +819,29 @@ class ClusterTelemetry:
             transfer=transfer, request=request_id, kind=kind,
             bytes=nbytes, start=start, done=done,
         )
+        self.registry.emit_span(
+            phase="kv_migration", start=requested, end=done,
+            scope=self.scope, request=request_id, parent=span_parent,
+            kind=kind, bytes=nbytes, link_start=start,
+        )
         return transfer
+
+    def drain_reroute(self, time: float, request_id: str, until: float,
+                      original_arrival: float,
+                      replica: int) -> Optional[int]:
+        """Span for a drained request's re-route gap; returns span id.
+
+        ``time`` is the drain instant on the victim replica, ``until``
+        the re-dispatch instant (KV-migration landing, or ``time``
+        when nothing needed moving). The span carries the request's
+        *original* arrival so attribution can restore the pre-drain
+        queue wait the re-routed record no longer shows.
+        """
+        return self.registry.emit_span(
+            phase="drain_reroute", start=time, end=until,
+            scope=self.scope, request=request_id,
+            original_arrival=original_arrival, replica=replica,
+        )
 
     def migration_land(self, time: float, transfer: int, request_id: str,
                        replica: int, nbytes: int) -> None:

@@ -20,10 +20,21 @@ properties the simulator is supposed to guarantee by construction:
   replica whose replayed lifecycle state is not ``serving``, and
   replica lifecycles only take legal transitions
   (provisioning → warming → serving → draining → retired).
-* **Gauge reconstruction** — ``num_running_reqs`` and
-  ``num_serving_replicas`` samples must equal the values re-derived
-  from the event stream alone (admits/preempts/finishes, lifecycle
-  actions), i.e. the gauges carry no information the events don't.
+* **Gauge reconstruction** — ``num_running_reqs``,
+  ``num_serving_replicas``, ``num_queue_reqs`` and ``token_usage``
+  samples must equal the values re-derived from the event stream alone
+  (queue/admit/preempt/withdraw/finish events, lifecycle actions, span
+  ``produced`` counts), i.e. the gauges carry no information the
+  events don't. ``num_queue_reqs`` is only checked when the trace
+  contains ``request_queued`` events, and ``token_usage`` only when it
+  contains spans — older traces lack the reconstruction inputs.
+* **Span well-formedness** — every span runs forward in time
+  (``start <= end``), a request's phase spans nest inside its single
+  ``request`` root span, children nest inside their ``parent``,
+  exclusive phases of one request never overlap with positive measure
+  (unless parent-linked, like a drain's KV transfer inside its
+  re-route), and top-level phase durations never sum past the
+  request's end-to-end window.
 
 Streams are partitioned by scope (engine ``r0…``, cluster ``c0…``)
 because request ids repeat across sweep cells; *times* are compared
@@ -38,8 +49,15 @@ experiments (no cluster events) and cluster experiments alike.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .spans import EXCLUSIVE_PHASES, PHASE_DECODE, PHASE_PREFILL, PHASE_REQUEST
+
+#: Relative tolerance of the span-accounting sum (matches
+#: :data:`repro.metrics.attribution.CLOSURE_TOL`).
+_SPAN_TOL = 1e-9
 
 #: Legal replica-lifecycle transitions (old state -> allowed new states).
 _LIFECYCLE = {
@@ -91,12 +109,41 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
     serving: Dict[str, int] = {}
     # (cluster, transfer) -> the unmatched migration_start record.
     transfers: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    # scope -> request ids currently in the waiting queue.
+    queued: Dict[str, Set[str]] = {}
+    # (scope, request_id) -> replayed resident KV tokens while running.
+    resident: Dict[Tuple[str, str], int] = {}
+    spans: List[Dict[str, Any]] = []
+
+    # Reconstruction inputs that only newer traces carry; without them
+    # the corresponding gauge checks degrade to a pass.
+    events_present = {record["event"] for record in records}
+    has_spans = "span" in events_present
+    has_queue_events = "request_queued" in events_present
 
     for record in records:
         seq = record["seq"]
         event = record["event"]
 
-        if event == "request_admitted":
+        if event == "request_queued":
+            pending = queued.setdefault(record["scope"], set())
+            if record["request"] in pending:
+                flag("queue-ledger", seq,
+                     f"request {record['request']} queued while already "
+                     f"in the waiting queue")
+            else:
+                pending.add(record["request"])
+
+        elif event == "request_withdrawn":
+            pending = queued.get(record["scope"])
+            if pending is None or record["request"] not in pending:
+                flag("queue-ledger", seq,
+                     f"request {record['request']} withdrawn from a "
+                     f"queue it never joined")
+            else:
+                pending.discard(record["request"])
+
+        elif event == "request_admitted":
             key = (record["scope"], record["request"])
             ledger = requests.get(key)
             if ledger is None:
@@ -114,6 +161,10 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
                      f"before its arrival {record['arrival']}")
             ledger.running = True
             running[key[0]] = running.get(key[0], 0) + 1
+            queued.get(key[0], set()).discard(key[1])
+            reserved = record.get("tokens_reserved")
+            if has_spans and reserved is not None:
+                resident[key] = reserved
 
         elif event == "request_preempted":
             key = (record["scope"], record["request"])
@@ -124,6 +175,15 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
             else:
                 ledger.running = False
                 running[key[0]] -= 1
+                # The victim re-enters the waiting queue head.
+                queued.setdefault(key[0], set()).add(key[1])
+                held = resident.pop(key, None)
+                freed = record.get("tokens_freed")
+                if held is not None and freed is not None and freed != held:
+                    flag("token-conservation", seq,
+                         f"request {key[1]} freed {freed} resident tokens "
+                         f"on preemption but the replayed ledger holds "
+                         f"{held}")
 
         elif event == "request_finished":
             key = (record["scope"], record["request"])
@@ -135,11 +195,19 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
                 ledger.running = False
                 ledger.finishes += 1
                 running[key[0]] -= 1
+                resident.pop(key, None)
                 if ledger.finishes > 1:
                     flag("request-lifecycle", seq,
                          f"request {key[1]} finished more than once")
             _check_clocks(record, flag)
             _check_tokens(record, ledger, flag)
+
+        elif event == "span":
+            spans.append(record)
+            if record["phase"] in (PHASE_PREFILL, PHASE_DECODE):
+                key = (record["scope"], record["request"])
+                if key in resident:
+                    resident[key] += record.get("produced", 0)
 
         elif event == "replica_init":
             fleet = replicas.setdefault(record["cluster"], {})
@@ -204,12 +272,15 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
                      f"the link computed arrival {start['done']}")
 
         elif event == "sample":
-            _check_sample(record, running, serving, flag)
+            _check_sample(record, running, serving, queued, resident,
+                          has_queue_events, has_spans, flag)
 
     for (cluster, transfer), start in sorted(transfers.items()):
         flag("kv-conservation", start["seq"],
              f"transfer {transfer} on {cluster} never landed "
              f"({start['bytes']} bytes in flight at end of trace)")
+
+    _check_spans(spans, flag)
 
     violations.sort(key=lambda v: v.seq)
     return violations
@@ -263,7 +334,9 @@ def _check_tokens(record: Dict[str, Any],
 
 
 def _check_sample(record: Dict[str, Any], running: Dict[str, int],
-                  serving: Dict[str, int], flag) -> None:
+                  serving: Dict[str, int], queued: Dict[str, Set[str]],
+                  resident: Dict[Tuple[str, str], int],
+                  has_queue_events: bool, has_spans: bool, flag) -> None:
     """Replayable gauges must match the value re-derived from events."""
     metric = record["metric"]
     scope = record["scope"]
@@ -271,12 +344,117 @@ def _check_sample(record: Dict[str, Any], running: Dict[str, int],
         expected = running.get(scope, 0)
     elif metric == "num_serving_replicas":
         expected = serving.get(scope, 0)
+    elif metric == "num_queue_reqs":
+        if not has_queue_events:
+            return
+        expected = len(queued.get(scope, ()))
+    elif metric == "token_usage":
+        # Reconstructible only from spans: decode growth is invisible
+        # in the event stream alone.
+        if not has_spans:
+            return
+        expected = sum(
+            tokens for (s, _), tokens in resident.items() if s == scope
+        )
     else:
         return
     if record["value"] != float(expected):
         flag("gauge-reconstruction", record["seq"],
              f"{metric}[{scope}] sampled {record['value']} but the "
              f"event stream reconstructs {expected}")
+
+
+def _check_spans(spans: List[Dict[str, Any]], flag) -> None:
+    """Span well-formedness: direction, nesting, exclusivity, accounting.
+
+    Runs as a post-pass because containment needs the full span set of
+    each request (the root ``request`` span is emitted last, at
+    finish).
+    """
+    by_id: Dict[int, Dict[str, Any]] = {}
+    groups: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    for record in spans:
+        by_id[record["span"]] = record
+        groups.setdefault(
+            (record["scope"], record["request"]), []
+        ).append(record)
+        if record["start"] > record["end"]:
+            flag("span-wellformed", record["seq"],
+                 f"{record['phase']} span {record['span']} starts at "
+                 f"{record['start']}, after its end {record['end']}")
+
+    for record in spans:
+        parent_id = record.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            flag("span-wellformed", record["seq"],
+                 f"span {record['span']} references parent {parent_id} "
+                 f"which is not in the trace")
+        elif (record["start"] < parent["start"]
+              or record["end"] > parent["end"]):
+            flag("span-nesting", record["seq"],
+                 f"{record['phase']} span [{record['start']}, "
+                 f"{record['end']}] escapes its parent "
+                 f"{parent['phase']} span [{parent['start']}, "
+                 f"{parent['end']}]")
+
+    for (scope, request), group in sorted(groups.items()):
+        roots = [r for r in group if r["phase"] == PHASE_REQUEST]
+        if len(roots) > 1:
+            flag("span-wellformed", roots[1]["seq"],
+                 f"request {request} has {len(roots)} root spans")
+        root = roots[0] if roots else None
+        phases = sorted(
+            (r for r in group if r["phase"] in EXCLUSIVE_PHASES),
+            key=lambda r: (r["start"], r["end"], r["seq"]),
+        )
+
+        if root is not None:
+            for record in phases:
+                if (record["start"] < root["start"]
+                        or record["end"] > root["end"]):
+                    flag("span-nesting", record["seq"],
+                         f"{record['phase']} span [{record['start']}, "
+                         f"{record['end']}] of request {request} escapes "
+                         f"its root span [{root['start']}, "
+                         f"{root['end']}]")
+            # Top-level phase durations can never exceed the request's
+            # end-to-end window (gaps — batch waits — are legal; excess
+            # is not).
+            total = math.fsum(
+                r["end"] - r["start"]
+                for r in phases
+                if r.get("parent") is None
+            )
+            e2e = root["end"] - root["start"]
+            if total > e2e + _SPAN_TOL * max(1.0, abs(e2e)):
+                flag("span-accounting", root["seq"],
+                     f"request {request} phase durations sum to {total}, "
+                     f"exceeding its end-to-end window {e2e}")
+
+        # Sweep for positive-measure overlap between exclusive phases.
+        # Only parent-linked pairs (a drain's KV transfer inside its
+        # re-route span) may nest.
+        open_spans: List[Dict[str, Any]] = []
+        for record in phases:
+            open_spans = [
+                s for s in open_spans if s["end"] > record["start"]
+            ]
+            for other in open_spans:
+                if min(other["end"], record["end"]) <= record["start"]:
+                    continue
+                linked = (record.get("parent") == other["span"]
+                          or other.get("parent") == record["span"])
+                if not linked:
+                    flag("span-overlap", record["seq"],
+                         f"{record['phase']} span [{record['start']}, "
+                         f"{record['end']}] of request {request} "
+                         f"overlaps {other['phase']} span "
+                         f"[{other['start']}, {other['end']}]")
+                    break
+            open_spans.append(record)
 
 
 def check_jsonl(path: str) -> List[TraceViolation]:

@@ -41,6 +41,7 @@ from ..kernels.costmodel import (
 )
 from ..kernels.registry import get_kernel
 from ..metrics.collector import IterationRecord, MetricsCollector, RunReport
+from ..metrics import attribution
 from ..metrics.telemetry import EngineTelemetry
 from ..metrics.telemetry import active as active_telemetry
 from ..models.shard import ShardedModel
@@ -357,10 +358,22 @@ class LLMEngine:
             start_time=start,
             end_time=self.clock.now,
             prefix_cache=self.memory.cache_report(),
+            latency_attribution=self._latency_attribution(),
         )
         if self.telemetry is not None:
             self.telemetry.on_report(self, report)
         return report
+
+    def _latency_attribution(self) -> Optional[dict]:
+        """This engine's attribution summary (spans-on runs only)."""
+        if self.telemetry is None:
+            return None
+        registry = self.telemetry.registry
+        if not registry.record_spans:
+            return None
+        return attribution.build(
+            registry.events, domains={self.telemetry.scope}
+        ).to_json()
 
     def run_until(self, deadline: float) -> int:
         """Serve until the clock reaches ``deadline`` or work runs out.
@@ -477,13 +490,22 @@ class LLMEngine:
         """
         self.draining = True
         withdrawn: List[Request] = []
+        dequeued: List[Request] = []
         for queue in (self._pending, self._waiting):
             for request in list(queue):
                 if request.admitted_time is None:
                     queue.remove(request)
                     withdrawn.append(request)
+                    # Only waiting-queue members were ever counted as
+                    # queued (num_queue_reqs, request_queued events);
+                    # pending ones had not arrived yet.
+                    if queue is self._waiting:
+                        dequeued.append(request)
         for request in withdrawn:
             self._all_requests.remove(request)
+        if self.telemetry is not None:
+            for request in dequeued:
+                self.telemetry.on_withdrawn(self, request)
         withdrawn.sort(key=lambda r: (r.arrival_time, r.request_id))
         return withdrawn
 
@@ -502,7 +524,10 @@ class LLMEngine:
 
     def _ingest_arrivals(self) -> None:
         while self._pending and self._pending[0].arrival_time <= self.clock.now:
-            self._waiting.append(self._pending.popleft())
+            request = self._pending.popleft()
+            self._waiting.append(request)
+            if self.telemetry is not None:
+                self.telemetry.on_queued(self, request)
 
     # ------------------------------------------------------------------
     # Scheduling-policy plumbing
@@ -559,6 +584,10 @@ class LLMEngine:
             )
             if request is None or not self.memory.can_admit(request):
                 break
+            # The instant the scheduler picked the request: queue wait
+            # ends here; backend admission and any swap-in restore
+            # below are the request's admission span.
+            picked = self.clock.now
             self._remove_waiting(request)
             self.memory.admit(request)
             if request.swapped:
@@ -573,7 +602,7 @@ class LLMEngine:
             request.admitted_time = self.clock.now
             self._running.append(request)
             if self.telemetry is not None:
-                self.telemetry.on_admit(self, request)
+                self.telemetry.on_admit(self, request, picked)
 
     # ------------------------------------------------------------------
     # Iterations
@@ -627,6 +656,9 @@ class LLMEngine:
         )
         self.metrics.record(record)
         if self.telemetry is not None:
+            self.telemetry.on_iteration_spans(
+                self, record, prefill=request, chunk=new_tokens
+            )
             self.telemetry.on_iteration(self, record)
         self._retire_finished()
 
@@ -712,6 +744,9 @@ class LLMEngine:
         )
         self.metrics.record(record)
         if self.telemetry is not None:
+            self.telemetry.on_iteration_spans(
+                self, record, prefill=prefill, chunk=chunk, decodes=decodes
+            )
             self.telemetry.on_iteration(self, record)
         self._retire_finished()
 
@@ -748,6 +783,7 @@ class LLMEngine:
         )
         self.metrics.record(record)
         if self.telemetry is not None:
+            self.telemetry.on_iteration_spans(self, record, decodes=batch)
             self.telemetry.on_iteration(self, record)
         self._retire_finished()
 

@@ -339,7 +339,7 @@ class VAttentionMemory(MemoryBackend):
         return {
             "kv_pages_used": float(total - free),
             "kv_pages_free": float(free),
-            "token_usage": (total - free) / total,
+            "kv_pool_usage": (total - free) / total,
         }
 
     def can_admit(self, request: Request) -> bool:
@@ -562,7 +562,7 @@ class PagedMemory(MemoryBackend):
         return {
             "kv_pages_used": float(total - free),
             "kv_pages_free": float(free),
-            "token_usage": (total - free) / total,
+            "kv_pool_usage": (total - free) / total,
         }
 
     def can_admit(self, request: Request) -> bool:

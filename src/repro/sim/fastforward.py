@@ -252,6 +252,11 @@ class DecodeFastForwarder:
             # by exactly what the legacy per-iteration loop would add
             # (iterations, tokens, busy seconds), and the stretch length
             # lands in the fast_forward_stretch_iterations histogram.
+            # Spans follow suit — one decode span per request covering
+            # the whole stretch, not one per collapsed iteration.
+            engine.telemetry.on_iteration_spans(
+                engine, record, decodes=batch
+            )
             engine.telemetry.on_iteration(engine, record)
         engine._retire_finished()
         return executed

@@ -6,14 +6,19 @@ Two layers:
   invariant each, proving the checker actually detects what it claims
   to (a checker that passes everything proves nothing).
 * The catalogue sweep — every experiment in the CLI catalogue runs at
-  reduced scale with telemetry enabled and its merged trace must replay
-  with zero violations. This is the standing pytest/CI gate: any change
-  that breaks KV conservation, replica lifecycles, request clocks or
-  gauge/event consistency fails here before it ships. Experiments that
-  never construct an engine (pure cost-model tables) produce empty
-  traces that trivially pass; they stay in the sweep so the coverage
-  assertion over the catalogue keys holds as the catalogue grows.
+  reduced scale with telemetry *and spans* enabled and its merged trace
+  must replay with zero violations, with every attributed request's
+  phase buckets closing to its measured wall time. This is the
+  standing pytest/CI gate: any change that breaks KV conservation,
+  replica lifecycles, request clocks, gauge/event consistency, span
+  shape or attribution closure fails here before it ships. Experiments
+  that never construct an engine (pure cost-model tables) produce
+  empty traces that trivially pass; they stay in the sweep so the
+  coverage assertion over the catalogue keys holds as the catalogue
+  grows.
 """
+
+import math
 
 import pytest
 
@@ -47,7 +52,8 @@ from repro.experiments import (
     tab09_alloc_bandwidth,
     tab10_tensor_slicing,
 )
-from repro.metrics.telemetry import enabled
+from repro.metrics import attribution
+from repro.metrics.telemetry import TelemetryRegistry, enabled
 from repro.metrics.tracecheck import (
     TraceViolation,
     assert_clean,
@@ -291,6 +297,183 @@ class TestSyntheticViolations:
             [self._sample(0, "gen_throughput", 123.4)]
         ) == []
 
+    # -- queue-depth reconstruction -----------------------------------
+    def _queued(self, seq, request="a", scope="r0"):
+        return {
+            "seq": seq, "time": float(seq), "event": "request_queued",
+            "scope": scope, "request": request, "arrival": float(seq),
+        }
+
+    def _withdrawn(self, seq, request="a", scope="r0"):
+        return {
+            "seq": seq, "time": float(seq), "event": "request_withdrawn",
+            "scope": scope, "request": request,
+        }
+
+    def test_queue_gauge_must_match_events(self):
+        records = [
+            self._queued(0),
+            self._sample(1, "num_queue_reqs", 1.0),
+            _admit(2, time=2.0),
+            self._sample(3, "num_queue_reqs", 0.0),
+        ]
+        assert check_trace(records) == []
+        records[3] = self._sample(3, "num_queue_reqs", 1.0)
+        assert _invariants(records) == {"gauge-reconstruction"}
+
+    def test_queue_gauge_skipped_without_queue_events(self):
+        # Older traces never emitted request_queued; their samples
+        # cannot be reconstructed and must not be flagged.
+        assert check_trace(
+            [self._sample(0, "num_queue_reqs", 5.0)]
+        ) == []
+
+    def test_preempted_victim_rejoins_queue(self):
+        records = [
+            self._queued(0),
+            _admit(1, time=1.0),
+            {"seq": 2, "time": 2.0, "event": "request_preempted",
+             "scope": "r0", "request": "a"},
+            self._sample(3, "num_queue_reqs", 1.0),
+        ]
+        assert check_trace(records) == []
+
+    def test_double_queue_flagged(self):
+        assert _invariants(
+            [self._queued(0), self._queued(1)]
+        ) == {"queue-ledger"}
+
+    def test_withdraw_of_never_queued_flagged(self):
+        assert _invariants([self._withdrawn(0)]) == {"queue-ledger"}
+
+    def test_withdrawn_request_leaves_queue(self):
+        records = [
+            self._queued(0),
+            self._withdrawn(1),
+            self._sample(2, "num_queue_reqs", 0.0),
+        ]
+        assert check_trace(records) == []
+
+    # -- token-usage reconstruction -----------------------------------
+    def _span(self, seq, span_id, phase, start, end, parent=None,
+              scope="r0", request="a", **extras):
+        record = {
+            "seq": seq, "time": end, "event": "span", "span": span_id,
+            "phase": phase, "scope": scope, "request": request,
+            "start": start, "end": end, **extras,
+        }
+        if parent is not None:
+            record["parent"] = parent
+        return record
+
+    def test_token_usage_gauge_must_match_spans(self):
+        records = [
+            dict(_admit(0), tokens_reserved=12),
+            self._span(1, 0, "prefill", 1.0, 2.0, chunk=12, produced=1),
+            self._sample(2, "token_usage", 13.0),
+            self._span(3, 1, "decode", 2.0, 3.0, produced=1),
+            self._sample(4, "token_usage", 14.0),
+        ]
+        assert check_trace(records) == []
+        records[4] = self._sample(4, "token_usage", 13.0)
+        assert _invariants(records) == {"gauge-reconstruction"}
+
+    def test_token_usage_skipped_without_spans(self):
+        # Decode growth is invisible without spans: the checker must
+        # not guess.
+        assert check_trace(
+            [dict(_admit(0), tokens_reserved=12),
+             self._sample(1, "token_usage", 99.0)]
+        ) == []
+
+    def test_preempt_must_free_ledger_tokens(self):
+        def trace(freed):
+            return [
+                dict(_admit(0), tokens_reserved=12),
+                self._span(1, 0, "decode", 1.0, 2.0, produced=3),
+                {"seq": 2, "time": 2.0, "event": "request_preempted",
+                 "scope": "r0", "request": "a", "tokens_freed": freed},
+            ]
+
+        assert check_trace(trace(15)) == []
+        assert _invariants(trace(14)) == {"token-conservation"}
+
+    # -- span well-formedness -----------------------------------------
+    def _root(self, seq, span_id=99, start=0.0, end=10.0, request="a",
+              scope="r0", **extras):
+        return self._span(seq, span_id, "request", start, end,
+                          scope=scope, request=request, **extras)
+
+    def test_clean_span_tree(self):
+        records = [
+            self._span(0, 0, "queue_wait", 0.0, 1.0),
+            self._span(1, 1, "prefill", 1.0, 3.0, produced=1),
+            self._span(2, 2, "decode", 3.0, 6.0, iterations=3),
+            self._span(3, 3, "decode", 6.0, 10.0, iterations=4),
+            self._root(4),
+        ]
+        assert check_trace(records) == []
+
+    def test_backwards_span_flagged(self):
+        assert _invariants(
+            [self._span(0, 0, "decode", 2.0, 1.0)]
+        ) == {"span-wellformed"}
+
+    def test_span_escaping_root_flagged(self):
+        records = [
+            self._span(0, 0, "decode", 5.0, 12.0),
+            self._root(1),
+        ]
+        assert _invariants(records) == {"span-nesting"}
+
+    def test_exclusive_overlap_flagged(self):
+        records = [
+            self._span(0, 0, "prefill", 1.0, 3.0),
+            self._span(1, 1, "decode", 2.0, 4.0),
+        ]
+        assert "span-overlap" in _invariants(records)
+
+    def test_touching_spans_do_not_overlap(self):
+        records = [
+            self._span(0, 0, "prefill", 1.0, 3.0),
+            self._span(1, 1, "decode", 3.0, 4.0),
+        ]
+        assert check_trace(records) == []
+
+    def test_parent_linked_nesting_allowed(self):
+        records = [
+            self._span(0, 0, "drain_reroute", 1.0, 5.0),
+            self._span(1, 1, "kv_migration", 2.0, 4.0, parent=0),
+        ]
+        assert check_trace(records) == []
+
+    def test_child_escaping_parent_flagged(self):
+        records = [
+            self._span(0, 0, "drain_reroute", 1.0, 5.0),
+            self._span(1, 1, "kv_migration", 2.0, 6.0, parent=0),
+        ]
+        assert "span-nesting" in _invariants(records)
+
+    def test_unknown_parent_flagged(self):
+        assert _invariants(
+            [self._span(0, 1, "kv_migration", 2.0, 4.0, parent=7)]
+        ) == {"span-wellformed"}
+
+    def test_double_root_flagged(self):
+        assert _invariants(
+            [self._root(0, span_id=0), self._root(1, span_id=1)]
+        ) == {"span-wellformed"}
+
+    def test_phase_durations_cannot_exceed_e2e(self):
+        # Overlapping phases necessarily overshoot the wall time, so
+        # both the overlap and the accounting invariant fire.
+        records = [
+            self._span(0, 0, "queue_wait", 0.0, 6.0),
+            self._span(1, 1, "decode", 4.0, 10.0),
+            self._root(2),
+        ]
+        assert "span-accounting" in _invariants(records)
+
 
 class TestCheckerApi:
     def test_violation_str(self):
@@ -400,7 +583,7 @@ class TestCatalogueGate:
 
     @pytest.mark.parametrize("name", sorted(TRACE_SWEEP))
     def test_trace_invariants_hold(self, name):
-        with enabled() as registry:
+        with enabled(TelemetryRegistry(record_spans=True)) as registry:
             TRACE_SWEEP[name]()
         records = registry.trace_records()
         if name in ENGINE_DRIVEN:
@@ -408,3 +591,17 @@ class TestCatalogueGate:
                 record["event"] == "request_finished" for record in records
             ), "engine-driven experiment produced no lifecycle events"
         assert_clean(records)
+        # Attribution closure: every attributed request's phase buckets
+        # must sum to its measured wall time (and, clipped at the first
+        # token, to its TTFT).
+        report = attribution.build(records)
+        if name in ENGINE_DRIVEN:
+            assert report.requests, "spans-on run attributed no requests"
+        assert report.closure_violations() == []
+        for row in report.requests:
+            if row.ttft_buckets is None:
+                continue
+            ttft_sum = math.fsum(row.ttft_buckets.values())
+            assert math.isclose(
+                ttft_sum, row.ttft, rel_tol=1e-9, abs_tol=1e-9
+            ), f"{row.request}: ttft buckets {ttft_sum} != {row.ttft}"
