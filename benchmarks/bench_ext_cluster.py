@@ -9,12 +9,22 @@ uploads as an artifact::
 
 import dataclasses
 import json
+import time
 
+# Shares the decode-heavy trace variant with the wall-clock benchmark
+# so both report the same cluster fast-loop regime.
+from bench_speed import CLUSTER_BENCH_DECODE
+
+import repro.serving.engine as engine_module
 from repro.experiments import ext_cluster_router as driver
 from repro.units import GB
 
 REPLICA_COUNTS = (2, 4)
 SHARING_FACTORS = (1, 8)
+
+#: The joint-horizon cluster loop's acceptance bar on the decode-heavy
+#: 4-replica cell (the ``ext_cluster_router_4x`` case of bench_speed).
+FAST_LOOP_TARGET = 5.0
 
 
 def _sweeps():
@@ -23,6 +33,68 @@ def _sweeps():
     )
     disagg = driver.run_disaggregated()
     return rows, disagg
+
+
+def measure_fast_loop(repeats: int = 2) -> dict:
+    """Best-of-N wall clock of the decode-heavy 4-replica cell with the
+    joint-horizon fast loop on vs off, end states verified equal."""
+
+    def run_once(fast_forward):
+        previous = engine_module.DEFAULT_FAST_FORWARD
+        engine_module.DEFAULT_FAST_FORWARD = fast_forward
+        try:
+            cluster = driver.build_cluster(4, "cache_aware")
+            cluster.submit(
+                driver.cluster_trace(
+                    count=96,
+                    sharing_factor=4,
+                    qps=10.0,
+                    decode_spec=CLUSTER_BENCH_DECODE,
+                )
+            )
+            started = time.perf_counter()
+            report = cluster.run()
+            elapsed = time.perf_counter() - started
+        finally:
+            engine_module.DEFAULT_FAST_FORWARD = previous
+        state = (
+            repr(report.end_time),
+            len(report.finished_records),
+            tuple(repr(lat) for lat in sorted(report.e2e_latencies())),
+        )
+        return elapsed, state
+
+    fast_times, slow_times = [], []
+    fast_state = slow_state = None
+    for _ in range(repeats):
+        elapsed, fast_state = run_once(True)
+        fast_times.append(elapsed)
+        elapsed, slow_state = run_once(False)
+        slow_times.append(elapsed)
+    assert fast_state == slow_state, (
+        "fast-forwarded end state diverged from the per-iteration loop"
+    )
+    fast, slow = min(fast_times), min(slow_times)
+    return {
+        "case": "ext_cluster_router_4x",
+        "fast_seconds": round(fast, 6),
+        "slow_seconds": round(slow, 6),
+        "speedup": round(slow / fast, 3),
+    }
+
+
+def test_cluster_fast_loop_speedup(benchmark):
+    row = benchmark.pedantic(measure_fast_loop, rounds=1, iterations=1)
+    print(
+        f"\nCluster fast-loop speedup ({row['case']}): "
+        f"{row['speedup']:.2f}x "
+        f"(fast {row['fast_seconds'] * 1e3:.1f}ms, "
+        f"slow {row['slow_seconds'] * 1e3:.1f}ms)"
+    )
+    assert row["speedup"] >= FAST_LOOP_TARGET, (
+        f"joint-horizon cluster speedup {row['speedup']:.2f}x misses "
+        f"the {FAST_LOOP_TARGET:.0f}x target"
+    )
 
 
 def test_ext_cluster_router(benchmark):
@@ -118,6 +190,7 @@ def main() -> None:
         "qps": driver.QPS,
         "routing": [dataclasses.asdict(row) for row in rows],
         "disaggregated": [dataclasses.asdict(row) for row in disagg],
+        "fast_loop": measure_fast_loop(),
         # One representative cell's full fleet report through the
         # shared serialization path (ClusterReport.to_json).
         "example_report": driver.serve(

@@ -12,7 +12,8 @@ Cases (the decode-heavy end of the catalogue):
   arXiv-Summarization trace, one run per paper system.
 * ``fig10_online`` — online Poisson load on FA2_vAttention.
 * ``ext_cluster_router_4x`` — a 4-replica cache-aware fleet (2 in
-  ``--quick``).
+  ``--quick``) on the decode-heavy variant of the cluster trace; this
+  is the case the joint-horizon cluster loop is measured on.
 
 Usage::
 
@@ -20,9 +21,10 @@ Usage::
     python benchmarks/bench_speed.py --quick    # CI smoke: on beats off
 
 The full run asserts the fig09-class aggregate speedup meets the 5x
-target; ``--quick`` (CI's bench/speed job) only asserts that
-fast-forwarding beats the per-iteration loop on the decode-heavy case,
-keeping the job robust on noisy shared runners.
+target and the cluster case meets its own 5x target; ``--quick``
+(CI's bench/speed job) only asserts that fast-forwarding beats the
+per-iteration loop on the decode-heavy case, keeping the job robust on
+noisy shared runners.
 """
 
 from __future__ import annotations
@@ -38,9 +40,16 @@ from repro.experiments.common import paper_engine
 from repro.experiments.ext_cluster_router import build_cluster, cluster_trace
 from repro.models.zoo import YI_6B
 from repro.workloads.arrival import poisson_arrivals
-from repro.workloads.traces import arxiv_offline_trace, fixed_trace
+from repro.workloads.traces import TraceSpec, arxiv_offline_trace, fixed_trace
 
 FIG09_SYSTEMS = ("FA2_Paged", "FI_Paged", "FA2_vAttention")
+
+#: Decode lengths of the cluster wall-clock case. The catalogue trace's
+#: chat-sized decodes (mean 128) keep the experiment fast, but the
+#: wall-clock benchmark measures the decode-heavy regime the joint
+#: horizon exists for, so it replays the same trace with the decode
+#: distribution scaled 3x (still inside the SLO-relevant range).
+CLUSTER_BENCH_DECODE = TraceSpec(low=16, high=1_536, mean=384)
 
 
 def _fig09_engine(system: str, count: int):
@@ -169,33 +178,40 @@ def main(argv=None) -> int:
     def build_fleet():
         cluster = build_cluster(cluster_replicas, "cache_aware")
         cluster.submit(
-            cluster_trace(count=cluster_count, sharing_factor=4, qps=10.0)
+            cluster_trace(
+                count=cluster_count,
+                sharing_factor=4,
+                qps=10.0,
+                decode_spec=CLUSTER_BENCH_DECODE,
+            )
         )
         return cluster
 
-    rows.append(
-        measure(
-            f"ext_cluster_router_{cluster_replicas}x",
-            build_fleet,
-            _run_cluster,
-            repeats,
-        )
+    cluster_row = measure(
+        f"ext_cluster_router_{cluster_replicas}x",
+        build_fleet,
+        _run_cluster,
+        repeats,
     )
+    rows.append(cluster_row)
 
     fig09_rows = [r for r in rows if r["case"].startswith("fig09")]
     fig09_fast = sum(r["fast_seconds"] for r in fig09_rows)
     fig09_slow = sum(r["slow_seconds"] for r in fig09_rows)
     fig09_speedup = fig09_slow / fig09_fast
+    cluster_speedup = cluster_row["speedup"]
     payload = {
         "benchmark": "bench_speed",
         "quick": args.quick,
         "cases": rows,
         "fig09_class_speedup": round(fig09_speedup, 3),
+        "cluster_speedup": cluster_speedup,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")
     print(f"fig09-class aggregate speedup: {fig09_speedup:.2f}x")
+    print(f"cluster speedup: {cluster_speedup:.2f}x")
     print(f"wrote {args.output}")
 
     # The decode-heavy case must always win with fast-forwarding on.
@@ -204,9 +220,16 @@ def main(argv=None) -> int:
         f"fast-forwarding lost on {decode_heavy['case']}: "
         f"{decode_heavy['speedup']}x"
     )
+    assert cluster_row["speedup"] > 1.0, (
+        f"fast-forwarding lost on {cluster_row['case']}: "
+        f"{cluster_row['speedup']}x"
+    )
     if not args.quick:
         assert fig09_speedup >= 5.0, (
             f"fig09-class speedup {fig09_speedup:.2f}x misses the 5x target"
+        )
+        assert cluster_speedup >= 5.0, (
+            f"cluster speedup {cluster_speedup:.2f}x misses the 5x target"
         )
     return 0
 

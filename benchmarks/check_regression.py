@@ -17,11 +17,21 @@ any real regression. Case names match between any two runs except the
 cluster case, which encodes its fleet size and is simply skipped when
 absent from the baseline.
 
+The day-in-the-life cluster benchmark (``bench_scale.py``) is gated
+the same way when its fresh JSON is supplied: the measured
+requests-per-wall-second must stay within ``--scale-tolerance`` of the
+committed ``BENCH_scale_quick.json`` baseline — wall-clock throughput
+on shared runners is noisier than a speedup *ratio* (no in-process
+control run to divide by), hence the looser default.
+
 Usage (the CI bench job)::
 
     python benchmarks/bench_speed.py --quick --output fresh.json
+    python benchmarks/bench_scale.py --quick --output fresh_scale.json
     python benchmarks/check_regression.py \
-        --baseline BENCH_speed_quick.json --fresh fresh.json
+        --baseline BENCH_speed_quick.json --fresh fresh.json \
+        --scale-baseline BENCH_scale_quick.json \
+        --scale-fresh fresh_scale.json
 """
 
 from __future__ import annotations
@@ -63,6 +73,28 @@ def check(
     return problems
 
 
+def check_scale(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Gate the day-in-the-life benchmark's wall-clock throughput."""
+    problems = []
+    if baseline.get("quick") != fresh.get("quick"):
+        problems.append(
+            "bench_scale baseline and fresh run are different scales "
+            f"(baseline quick={baseline.get('quick')}, "
+            f"fresh quick={fresh.get('quick')})"
+        )
+        return problems
+    base = baseline["requests_per_wall_second"]
+    current = fresh["requests_per_wall_second"]
+    floor = (1.0 - tolerance) * base
+    if current < floor:
+        problems.append(
+            f"bench_scale throughput regressed: {current:,.0f} req/s "
+            f"vs baseline {base:,.0f} req/s (floor {floor:,.0f} at "
+            f"{tolerance:.0%} tolerance)"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -71,7 +103,25 @@ def main(argv=None) -> int:
         help="committed baseline JSON",
     )
     parser.add_argument(
-        "--fresh", required=True, help="freshly measured JSON"
+        "--fresh",
+        default=None,
+        help="freshly measured bench_speed JSON (omit to skip the gate)",
+    )
+    parser.add_argument(
+        "--scale-baseline",
+        default="BENCH_scale_quick.json",
+        help="committed bench_scale baseline JSON",
+    )
+    parser.add_argument(
+        "--scale-fresh",
+        default=None,
+        help="freshly measured bench_scale JSON (omit to skip the gate)",
+    )
+    parser.add_argument(
+        "--scale-tolerance",
+        type=float,
+        default=0.50,
+        help="allowed fractional loss of bench_scale throughput",
     )
     parser.add_argument(
         "--tolerance",
@@ -86,23 +136,44 @@ def main(argv=None) -> int:
         help="allowed fractional loss of any single case's speedup",
     )
     args = parser.parse_args(argv)
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.fresh) as handle:
-        fresh = json.load(handle)
-    problems = check(
-        baseline, fresh, args.tolerance, args.case_tolerance
-    )
+    if args.fresh is None and args.scale_fresh is None:
+        parser.error("nothing to gate: pass --fresh and/or --scale-fresh")
+    problems = []
+    speed_note = "no speed run supplied"
+    if args.fresh is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.fresh) as handle:
+            fresh = json.load(handle)
+        problems += check(
+            baseline, fresh, args.tolerance, args.case_tolerance
+        )
+        speed_note = (
+            f"aggregate {fresh['fig09_class_speedup']:.2f}x vs "
+            f"baseline {baseline['fig09_class_speedup']:.2f}x "
+            f"({len(fresh['cases'])} cases)"
+        )
+    scale_note = ""
+    if args.scale_fresh is not None:
+        with open(args.scale_baseline) as handle:
+            scale_baseline = json.load(handle)
+        with open(args.scale_fresh) as handle:
+            scale_fresh = json.load(handle)
+        problems += check_scale(
+            scale_baseline, scale_fresh, args.scale_tolerance
+        )
+        scale_note = (
+            f", bench_scale "
+            f"{scale_fresh['requests_per_wall_second']:,.0f} req/s vs "
+            f"baseline "
+            f"{scale_baseline['requests_per_wall_second']:,.0f} req/s"
+        )
     if problems:
         print("PERF REGRESSION:", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(
-        f"perf gate ok: aggregate {fresh['fig09_class_speedup']:.2f}x vs "
-        f"baseline {baseline['fig09_class_speedup']:.2f}x "
-        f"({len(fresh['cases'])} cases)"
-    )
+    print(f"perf gate ok: {speed_note}{scale_note}")
     return 0
 
 

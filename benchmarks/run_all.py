@@ -2,10 +2,11 @@
 
 Each ``bench_ext_*.py`` under ``benchmarks/`` doubles as a standalone
 script that writes its sweep as JSON via ``--output``. This driver
-discovers them, runs each in a subprocess (so their argparse ``main()``
-entry points execute exactly as CI used to invoke them one by one), and
-merges the payloads into a single ``BENCH_all.json`` keyed by benchmark
-name — the one artifact the CI ``bench`` job uploads::
+discovers them — plus ``bench_scale.py`` at its ``--quick`` CI scale —
+runs each in a subprocess (so their argparse ``main()`` entry points
+execute exactly as CI used to invoke them one by one), and merges the
+payloads into a single ``BENCH_all.json`` keyed by benchmark name —
+the one artifact the CI ``bench`` job uploads::
 
     PYTHONPATH=src python benchmarks/run_all.py --output BENCH_all.json
     PYTHONPATH=src python benchmarks/run_all.py --only cluster autoscale
@@ -30,8 +31,18 @@ BENCH_DIR = Path(__file__).resolve().parent
 
 
 def discover() -> List[Path]:
-    """Every extension benchmark script, in name order."""
-    return sorted(BENCH_DIR.glob("bench_ext_*.py"))
+    """Every extension benchmark script, in name order, plus the
+    cluster-scale benchmark (run at its ``--quick`` CI scale)."""
+    return sorted(BENCH_DIR.glob("bench_ext_*.py")) + [
+        BENCH_DIR / "bench_scale.py"
+    ]
+
+
+def extra_args(path: Path) -> List[str]:
+    """Per-benchmark flags for the merged run: the day-in-the-life
+    benchmark runs its 20k-request smoke here; the full million-request
+    day is the nightly job's."""
+    return ["--quick"] if path.stem == "bench_scale" else []
 
 
 def bench_name(path: Path) -> str:
@@ -51,7 +62,8 @@ def run_one(path: Path) -> Dict:
             else src
         )
         proc = subprocess.run(
-            [sys.executable, str(path), "--output", str(output)],
+            [sys.executable, str(path), "--output", str(output)]
+            + extra_args(path),
             capture_output=True,
             text=True,
             env=env,

@@ -47,7 +47,7 @@ the fixed-fleet engine.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, SchedulingError
@@ -56,7 +56,7 @@ from ..metrics.rolling import RollingPercentileTracker
 from ..metrics.telemetry import ClusterTelemetry
 from ..metrics.telemetry import active as active_telemetry
 from ..scheduling import validate_scheduler_policy
-from ..serving.engine import EngineConfig, LLMEngine
+from ..serving.engine import EngineConfig, LLMEngine, _default_fast_forward
 from ..serving.request import Request
 from ..sim.events import EventKind, EventQueue
 from .autoscaler import (
@@ -126,6 +126,14 @@ class ClusterConfig:
     backlog_guard_tokens: int = 65_536
     #: Rolling window the SLO tracker keeps TTFT completions over.
     slo_window_seconds: float = 30.0
+    #: Run the cluster through the joint-horizon fast loop (skip no-op
+    #: replica sweeps; batch arrival dispatch where the routing policy
+    #: is state-blind). Request-level results are identical to the
+    #: legacy next-event loop; ``False`` runs that loop byte-for-byte.
+    #: Defaults to the same switch as the per-engine decode
+    #: fast-forwarder (``repro.serving.engine.DEFAULT_FAST_FORWARD``),
+    #: so one flip toggles both layers.
+    fast_forward: bool = field(default_factory=_default_fast_forward)
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -350,8 +358,10 @@ class ClusterEngine:
         self._slo_tracker = RollingPercentileTracker(
             config.slo_window_seconds
         )
-        #: Logical requests whose TTFT already entered the tracker.
-        self._ttft_fed: set = set()
+        #: Routed records whose TTFT has not yet entered the tracker.
+        #: Fed records leave the list, so each decide scans only the
+        #: in-flight tail — never every record the run has produced.
+        self._ttft_unfed: List[RequestRecord] = []
         self._scale_events: List[ScaleEvent] = []
         self._slo_samples: List[SloSample] = []
         #: Most replicas simultaneously SERVING (the initial fleet all
@@ -438,11 +448,55 @@ class ClusterEngine:
                 first + self.config.scale_decide_interval,
                 EventKind.SCALE_DECIDE,
             )
+        if self.config.fast_forward:
+            self._run_fast_loop()
+        else:
+            self._run_event_loop()
+        # Decode replicas never create events; they drain last.
+        for replica in self.replicas:
+            replica.engine.run_until(math.inf)
+        if self._elastic:
+            self._finalize_drains()
+        return self._build_report()
+
+    def _joint_horizon(self) -> float:
+        """The instant the fleet cannot analytically skip past.
+
+        The run-ahead sweep may advance every event source to the next
+        arrival or scale decision, but no further: an arrival's routing
+        observes replica state at the arrival instant, and a scale
+        decision observes fleet state at the decision instant.
+        Migration landings and the remaining lifecycle events
+        (``SCALE_UP``, ``DRAIN_COMPLETE``) never bound the sweep — they
+        touch no event source (a landing feeds the decode tier, a boot
+        transition only changes who the *next* arrival may route to) —
+        so between consecutive horizons every replica jumps through its
+        own analytic decode stretches in one ``run_until`` call.
+        """
+        return min(
+            self._events.next_time(EventKind.ARRIVAL),
+            self._events.next_time(EventKind.SCALE_DECIDE),
+        )
+
+    def _dispatch_event(self, event) -> None:
+        """Dispatch one due event (shared by both loops)."""
+        if self._telemetry is not None:
+            self._telemetry.on_sim_event(event)
+        if event.kind is EventKind.ARRIVAL:
+            self._route(event.payload)
+        elif event.kind is EventKind.MIGRATION:
+            self._dispatch_migration(event.payload)
+        elif event.kind is EventKind.SCALE_UP:
+            self._dispatch_scale_up(event.time, event.payload)
+        elif event.kind is EventKind.SCALE_DECIDE:
+            self._dispatch_scale_decide(event.time)
+        else:
+            self._dispatch_drain_complete(event.time, event.payload)
+
+    def _run_event_loop(self) -> None:
+        """The legacy next-event loop (``fast_forward=False``)."""
         while True:
-            horizon = min(
-                self._events.next_time(EventKind.ARRIVAL),
-                self._events.next_time(EventKind.SCALE_DECIDE),
-            )
+            horizon = self._joint_horizon()
             # Event sources first: every migration born before the next
             # arrival must be on the queue before the fleet advances.
             for replica in self._route_targets:
@@ -457,24 +511,80 @@ class ClusterEngine:
             for replica in self.replicas:
                 replica.engine.run_until(now)
             for event in self._events.pop_due(now):
-                if self._telemetry is not None:
-                    self._telemetry.on_sim_event(event)
-                if event.kind is EventKind.ARRIVAL:
-                    self._route(event.payload)
-                elif event.kind is EventKind.MIGRATION:
-                    self._dispatch_migration(event.payload)
-                elif event.kind is EventKind.SCALE_UP:
-                    self._dispatch_scale_up(event.time, event.payload)
-                elif event.kind is EventKind.SCALE_DECIDE:
-                    self._dispatch_scale_decide(event.time)
-                else:
-                    self._dispatch_drain_complete(event.time, event.payload)
-        # Decode replicas never create events; they drain last.
-        for replica in self.replicas:
-            replica.engine.run_until(math.inf)
-        if self._elastic:
-            self._finalize_drains()
-        return self._build_report()
+                self._dispatch_event(event)
+
+    def _run_fast_loop(self) -> None:
+        """The joint-horizon loop (``fast_forward=True``).
+
+        Request-level identical to :meth:`_run_event_loop`; it drops
+        work the legacy loop provably wastes:
+
+        * ``run_until`` sweeps of idle replicas (``has_work()`` is
+          ``False``: the engine's serve loop would not execute a single
+          pass, and an idle clock never advances).
+        * The pre-dispatch re-sweep to the event instant. Event sources
+          were just swept to ``horizon >= now`` and nothing was
+          submitted to them since, so only replicas *outside* the
+          run-ahead sweep — the disaggregated decode tier — can lag the
+          event about to dispatch.
+        * One sweep of the whole fleet per arrival. When the routing
+          policy is state-blind (``observes_state`` is ``False``), no
+          telemetry registry is recording per-arrival gauges, and the
+          fleet is not disaggregated, an arrival's dispatch is pure
+          bookkeeping — so every arrival up to the next fleet-state
+          event (scale lifecycle; migrations cannot exist un-disagg) is
+          routed in one pass, and each engine then crosses the whole
+          window in analytic stretches broken only by its own
+          admissions. The serving set cannot change inside the window
+          (lifecycle transitions bound it), so the routing sequence is
+          the one the legacy loop produces.
+        """
+        events = self._events
+        batch_arrivals = (
+            self._telemetry is None
+            and not self.config.disaggregated
+            and not self.router.observes_state
+        )
+        while True:
+            horizon = self._joint_horizon()
+            for replica in self._route_targets:
+                if replica.engine.has_work():
+                    replica.engine.run_until(horizon)
+            self._schedule_transfers()
+            if self._elastic:
+                self._check_drain_completions()
+            head = events.peek()
+            if head is None:
+                break
+            now = head.time
+            for replica in self._decode_targets:
+                if replica.engine.has_work():
+                    replica.engine.run_until(now)
+            if batch_arrivals and head.kind is EventKind.ARRIVAL:
+                bound = min(
+                    events.next_time(EventKind.SCALE_UP),
+                    events.next_time(EventKind.MIGRATION),
+                    events.next_time(EventKind.SCALE_DECIDE),
+                    events.next_time(EventKind.DRAIN_COMPLETE),
+                )
+                routed = False
+                while True:
+                    head = events.peek()
+                    if (
+                        head is None
+                        or head.kind is not EventKind.ARRIVAL
+                        or head.time >= bound
+                    ):
+                        break
+                    events.pop()
+                    self._route(head.payload)
+                    routed = True
+                if routed:
+                    continue
+                # Arrival exactly at the bound: fall through so the
+                # boundary tie dispatches in the legacy kind order.
+            for event in events.pop_due(now):
+                self._dispatch_event(event)
 
     # ------------------------------------------------------------------
     # Routing and KV migration
@@ -544,6 +654,7 @@ class ClusterEngine:
         else:
             replica.engine.submit([request])
         self._records.append(record)
+        self._ttft_unfed.append(record)
 
     def _harvest(self, request: Request) -> None:
         """Retire hook on the prefill tier: queue a finished prompt's
@@ -695,15 +806,14 @@ class ClusterEngine:
         one-iteration overshoot) wait for the decide that covers them,
         keeping the tracker's time order intact."""
         fresh = []
-        for record in self._records:
-            request = record.serve_request
-            if (
-                request.first_token_time is not None
-                and request.first_token_time <= now
-                and record.request_id not in self._ttft_fed
-            ):
-                self._ttft_fed.add(record.request_id)
-                fresh.append((request.first_token_time, record.ttft))
+        waiting = []
+        for record in self._ttft_unfed:
+            first = record.serve_request.first_token_time
+            if first is not None and first <= now:
+                fresh.append((first, record.ttft))
+            else:
+                waiting.append(record)
+        self._ttft_unfed = waiting
         fresh.sort()
         for time, ttft in fresh:
             self._slo_tracker.observe(time, ttft)

@@ -51,6 +51,12 @@ class RoutingPolicy(abc.ABC):
 
     name: str
 
+    #: Whether :meth:`select` reads replica state (backlog, cache
+    #: content). A state-blind policy routes identically no matter how
+    #: far the fleet has simulated, which lets the cluster fast loop
+    #: dispatch whole arrival windows before sweeping the replicas.
+    observes_state: bool = True
+
     @abc.abstractmethod
     def select(
         self, request: Request, replicas: Sequence[ReplicaView]
@@ -66,6 +72,7 @@ class RoundRobinPolicy(RoutingPolicy):
     """Cycle through replicas in index order."""
 
     name = "round_robin"
+    observes_state = False
 
     def __init__(self) -> None:
         self._next = 0

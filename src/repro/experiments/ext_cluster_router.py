@@ -30,7 +30,7 @@ from ..serving.engine import EngineConfig
 from ..serving.request import Request
 from ..units import GB
 from ..workloads.arrival import bursty_arrivals
-from ..workloads.traces import shared_prefix_trace
+from ..workloads.traces import TraceSpec, shared_prefix_trace
 
 REQUESTS = 64
 PREFIX_TOKENS = 4_096
@@ -84,19 +84,23 @@ def cluster_trace(
     trace_seed: int = TRACE_SEED,
     arrival_seed: int = ARRIVAL_SEED,
     shuffle_seed: int = SHUFFLE_SEED,
+    decode_spec: Optional[TraceSpec] = None,
 ) -> List[Request]:
     """Shared-prefix requests in shuffled group order, bursty arrivals.
 
     :func:`~repro.workloads.traces.shared_prefix_trace` emits groups
     cyclically (request *i* belongs to group ``i % groups``); shuffling
     before assigning arrival times decouples the group sequence from
-    any routing cycle, so no policy wins by resonance.
+    any routing cycle, so no policy wins by resonance. ``decode_spec``
+    overrides the default chat-sized decode lengths (the wall-clock
+    benchmark replays a decode-heavier variant of this trace).
     """
     requests = shared_prefix_trace(
         count=count,
         sharing_factor=sharing_factor,
         prefix_tokens=prefix_tokens,
         seed=trace_seed,
+        **({} if decode_spec is None else {"decode_spec": decode_spec}),
     )
     random.Random(shuffle_seed).shuffle(requests)
     arrivals = bursty_arrivals(qps=qps, count=count, seed=arrival_seed)

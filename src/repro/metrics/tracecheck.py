@@ -36,6 +36,14 @@ properties the simulator is supposed to guarantee by construction:
   re-route), and top-level phase durations never sum past the
   request's end-to-end window.
 
+* **Stream-clock monotonicity** — within one scope's stream, record
+  times never run backwards in emission (seq) order: a component's
+  clock only moves forward. This is the invariant an analytic
+  fast-forward jump would break first — sweeping a replica to a joint
+  horizon and then dispatching an event in its past. Records stamped
+  at a semantic instant rather than the emitter's clock are exempt
+  (spans, migration records and link gauges, the terminal report).
+
 Streams are partitioned by scope (engine ``r0…``, cluster ``c0…``)
 because request ids repeat across sweep cells; *times* are compared
 only within a stream — replica clocks legitimately interleave on the
@@ -114,6 +122,8 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
     # (scope, request_id) -> replayed resident KV tokens while running.
     resident: Dict[Tuple[str, str], int] = {}
     spans: List[Dict[str, Any]] = []
+    # stream (scope or cluster) -> latest replayed record time.
+    clocks: Dict[str, float] = {}
 
     # Reconstruction inputs that only newer traces carry; without them
     # the corresponding gauge checks degrade to a pass.
@@ -124,6 +134,35 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
     for record in records:
         seq = record["seq"]
         event = record["event"]
+
+        # Exemptions are records stamped at a *semantic* instant
+        # rather than the emitting component's clock: a span carries
+        # its end (which may precede the emission instant, e.g. an
+        # overlapped transfer closed at the next iteration boundary);
+        # migration records and the migration_link_* gauges carry the
+        # serialized link's schedule — start at max(prefill finish,
+        # link free), landing at the computed arrival (both pinned
+        # exactly by kv-conservation) — but are emitted when a
+        # sweep-ahead harvests or absorbs the transfer, so a batched
+        # harvest interleaves link instants out of order; and the
+        # terminal cluster_report carries the fleet's last finish
+        # time, which a final autoscaler tick may outrun.
+        stream = record.get("scope") or record.get("cluster")
+        link_gauge = (
+            event == "sample"
+            and record["metric"].startswith("migration_link_")
+        )
+        if stream and not link_gauge and event not in (
+            "span", "migration_start", "migration_land",
+            "cluster_report",
+        ):
+            last = clocks.get(stream)
+            if last is not None and record["time"] < last:
+                flag("stream-clock", seq,
+                     f"stream {stream} emitted {event} at "
+                     f"{record['time']} after already reaching {last}")
+            else:
+                clocks[stream] = record["time"]
 
         if event == "request_queued":
             pending = queued.setdefault(record["scope"], set())

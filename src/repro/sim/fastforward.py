@@ -40,6 +40,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+try:  # pragma: no cover - numpy is part of the baked toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover - scalar fallback stays exact
+    _np = None
+
 from ..kernels.costmodel import linear_decode_time
 from ..metrics.collector import IterationRecord
 
@@ -50,6 +55,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Horizon meaning "no memory-side bound"; the completion/arrival bounds
 #: and the 62-bit headroom keep any real stretch far below it.
 UNBOUNDED_HORIZON = 1 << 62
+
+#: Minimum provable horizon at which the vectorized executor pays for
+#: its array setup; shorter stretches run the scalar loop.
+VECTOR_THRESHOLD = 8
 
 
 class DecodeFastPath:
@@ -195,42 +204,90 @@ class DecodeFastForwarder:
 
         clock = engine.clock
         start = clock.now
-        now = start
-        last_step_now = start
-        latency_sum = 0.0
-        #: Exact per-iteration latencies: downstream sums must add these
-        #: (not stretch subtotals) to reproduce the per-iteration loop's
-        #: float association bit for bit.
-        latencies: List[float] = []
-        record_latency = latencies.append
         total_tokens = 0
         for request in batch:
             total_tokens += request.context_len
 
-        executed = 0
-        while executed < horizon:
-            if now >= stop_time:
-                break
-            attention = decode_fn(
-                shard, total_tokens, batch_size, resolved_block
+        if _np is not None and horizon >= VECTOR_THRESHOLD:
+            # Vectorized executor: the whole stretch's float series in a
+            # handful of array ops, bit-identical to the scalar loop
+            # below (see the inline notes on association).
+            totals = total_tokens + batch_size * _np.arange(
+                horizon, dtype=_np.int64
             )
-            fw = overhead if overhead is not None else plan.overhead_at(executed)
-            # Same left-to-right association as _run_decode's sum.
+            attention = kernel._decode_time_total_series(
+                shard, totals, batch_size, resolved_block
+            )
+            if overhead is not None:
+                fw = overhead
+            else:
+                fw = _np.array(
+                    [plan.overhead_at(i) for i in range(horizon)],
+                    dtype=_np.float64,
+                )
+            # Elementwise adds in the scalar path's left-to-right order:
+            # ((((linear + attention) + fw) + cpu) + per_seq.
             compute = linear + attention + fw + cpu + per_seq
-            last_step_now = now
-            new_now = now + compute
-            # The slow path records latency as (now + compute) - now.
-            latency = new_now - now
-            record_latency(latency)
-            latency_sum += latency
-            now = new_now
-            executed += 1
-            total_tokens += batch_size
-            if has_hooks and not plan.on_iteration(executed - 1, compute):
-                break
+            # np.cumsum accumulates sequentially, so acc[i] is the exact
+            # float the serial `now += compute` recurrence reaches —
+            # acc[i] is iteration i's start time, acc[i+1] its end.
+            acc = _np.cumsum(_np.concatenate(((start,), compute)))
+            # Iteration i runs iff it *starts* strictly before stop_time.
+            n = int(_np.searchsorted(acc[:horizon], stop_time, side="left"))
+            if has_hooks:
+                executed = 0
+                for i in range(n):
+                    executed = i + 1
+                    if not plan.on_iteration(i, float(compute[i])):
+                        break
+            else:
+                executed = n
+            if executed == 0:
+                return 0
+            # diff(acc) is (now + compute) - now, the slow path's latency.
+            latency_series = _np.diff(acc[: executed + 1])
+            latencies = latency_series.tolist()
+            # Serial left-to-right sum, via cumsum's sequential pass.
+            latency_sum = float(_np.cumsum(latency_series)[-1])
+            now = float(acc[executed])
+            last_step_now = float(acc[executed - 1])
+        else:
+            now = start
+            last_step_now = start
+            latency_sum = 0.0
+            #: Exact per-iteration latencies: downstream sums must add
+            #: these (not stretch subtotals) to reproduce the
+            #: per-iteration loop's float association bit for bit.
+            latencies = []
+            record_latency = latencies.append
+            executed = 0
+            while executed < horizon:
+                if now >= stop_time:
+                    break
+                attention = decode_fn(
+                    shard, total_tokens, batch_size, resolved_block
+                )
+                fw = (
+                    overhead
+                    if overhead is not None
+                    else plan.overhead_at(executed)
+                )
+                # Same left-to-right association as _run_decode's sum.
+                compute = linear + attention + fw + cpu + per_seq
+                last_step_now = now
+                new_now = now + compute
+                # The slow path records latency as (now + compute) - now.
+                latency = new_now - now
+                record_latency(latency)
+                latency_sum += latency
+                now = new_now
+                executed += 1
+                total_tokens += batch_size
+                if has_hooks and not plan.on_iteration(executed - 1, compute):
+                    break
 
-        if executed == 0:
-            return 0
+            if executed == 0:
+                return 0
 
         clock.jump_to(now)
         for request in batch:

@@ -8,7 +8,7 @@ the dynamic-trace capacity experiment (S7.6.3) uses 7 QPS.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Sequence
 
 from ..errors import ConfigError
 
@@ -87,6 +87,63 @@ def bursty_arrivals(
             now += off
             on_until = next_on + rng.expovariate(1.0 / mean_on)
         arrivals.append(now)
+    return arrivals
+
+
+def mmpp_arrivals(
+    rates: Sequence[float],
+    dwells: Sequence[float],
+    count: int,
+    seed: int,
+    start: float = 0.0,
+) -> List[float]:
+    """Arrivals of a cyclic N-state Markov-modulated Poisson process.
+
+    The source cycles through ``len(rates)`` states; state ``i`` emits a
+    Poisson stream at ``rates[i]`` requests/second for an exponential
+    dwell with mean ``dwells[i]`` seconds, then hands over to state
+    ``(i + 1) % N``. With rates shaped like a load curve (night trough,
+    morning ramp, midday plateau, evening peak) and dwells of hours,
+    this produces the diurnal day-in-the-life traffic the cluster-scale
+    benchmark replays; :func:`bursty_arrivals` is the two-state special
+    case with one silent state.
+
+    A state with rate 0 emits nothing for its dwell (a silent period).
+    At least one rate must be positive or the process never produces an
+    arrival. Deterministic for a fixed ``seed``.
+    """
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    if not rates or len(rates) != len(dwells):
+        raise ConfigError(
+            f"rates and dwells must be equal-length and non-empty, got "
+            f"{len(rates)} rates and {len(dwells)} dwells"
+        )
+    if any(rate < 0 for rate in rates):
+        raise ConfigError(f"rates cannot be negative: {rates}")
+    if all(rate == 0 for rate in rates):
+        raise ConfigError("at least one rate must be positive")
+    if any(dwell <= 0 for dwell in dwells):
+        raise ConfigError(f"dwells must be positive: {dwells}")
+    rng = random.Random(seed)
+    now = start
+    state = 0
+    state_until = start + rng.expovariate(1.0 / dwells[0])
+    arrivals: List[float] = []
+    while len(arrivals) < count:
+        rate = rates[state]
+        if rate > 0:
+            gap = rng.expovariate(rate)
+            if now + gap <= state_until:
+                now += gap
+                arrivals.append(now)
+                continue
+        # Dwell exhausted (or silent state): advance to the next state.
+        # Exponential gaps are memoryless, so discarding the overrun
+        # and redrawing in the next state keeps the process exact.
+        now = state_until
+        state = (state + 1) % len(rates)
+        state_until = now + rng.expovariate(1.0 / dwells[state])
     return arrivals
 
 

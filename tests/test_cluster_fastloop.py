@@ -1,0 +1,266 @@
+"""Joint-horizon cluster fast-loop edge cases.
+
+The fast loop (``ClusterConfig.fast_forward``) sweeps replicas to a
+joint fleet horizon and batches state-blind arrival windows. These
+tests pin its boundary behaviour: equal-time event ties dispatch in
+the legacy kind order, drained replicas retire mid-loop, the
+degenerate single-replica fleet stays exact, a migration landing at an
+arrival instant dispatches exactly once, and idle gaps jump the fleet
+clock without inventing work.
+"""
+
+import pytest
+
+import repro.serving.engine as engine_module
+from repro.cluster import ClusterConfig, ClusterEngine
+from repro.gpu.spec import A100
+from repro.models.shard import ShardedModel
+from repro.models.zoo import YI_6B
+from repro.serving.engine import EngineConfig
+from repro.serving.request import Request
+from repro.sim.events import EventKind, EventQueue
+from repro.workloads.arrival import poisson_arrivals, uniform_arrivals
+from repro.workloads.traces import shared_prefix_trace
+
+
+def engine_config(cache: bool = True, max_batch: int = 8) -> EngineConfig:
+    return EngineConfig(
+        shard=ShardedModel(YI_6B, 1),
+        gpu=A100,
+        memory_backend="vattention",
+        max_batch_size=max_batch,
+        enable_prefix_cache=cache,
+    )
+
+
+def cluster(n: int, policy: str = "round_robin", **kwargs) -> ClusterEngine:
+    return ClusterEngine(
+        ClusterConfig(
+            engine=engine_config(),
+            n_replicas=n,
+            routing_policy=policy,
+            **kwargs,
+        )
+    )
+
+
+def trace(count: int = 16, qps: float = 4.0, seed: int = 31):
+    arrivals = poisson_arrivals(qps=qps, count=count, seed=seed)
+    return shared_prefix_trace(
+        count=count,
+        sharing_factor=4,
+        prefix_tokens=2_048,
+        arrivals=arrivals,
+    )
+
+
+def fingerprint(report):
+    """Request-level timing plus fleet aggregates, byte for byte."""
+    return (
+        repr(report.end_time),
+        report.migrations,
+        report.migrated_bytes,
+        repr(report.replica_seconds),
+        report.peak_serving,
+        len(report.scale_events),
+        tuple(
+            (
+                record.request_id,
+                record.replica,
+                record.decode_replica,
+                repr(record.ttft),
+                repr(record.e2e_latency),
+            )
+            for record in sorted(
+                report.records, key=lambda record: record.request_id
+            )
+        ),
+    )
+
+
+def run_both(build, monkeypatch):
+    """Run ``build()``'s cluster with the fast loop on, then off."""
+    monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", True)
+    fast = build().run()
+    monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", False)
+    legacy = build().run()
+    return fast, legacy
+
+
+# ----------------------------------------------------------------------
+# Equal-time ties dispatch in the legacy kind order
+# ----------------------------------------------------------------------
+class TestEventTies:
+    def test_pop_due_orders_kinds_at_equal_time(self):
+        queue = EventQueue()
+        at = 2.5
+        for kind in (
+            EventKind.SCALE_DECIDE,
+            EventKind.MIGRATION,
+            EventKind.ARRIVAL,
+            EventKind.DRAIN_COMPLETE,
+            EventKind.SCALE_UP,
+        ):
+            queue.push(at, kind)
+        popped = [event.kind for event in queue.pop_due(at)]
+        assert popped == [
+            EventKind.SCALE_UP,
+            EventKind.ARRIVAL,
+            EventKind.MIGRATION,
+            EventKind.SCALE_DECIDE,
+            EventKind.DRAIN_COMPLETE,
+        ]
+
+    def test_arrivals_at_scale_decide_instants(self, monkeypatch):
+        """Arrival times exactly on the SCALE_DECIDE grid: the batched
+        arrival window must stop at the boundary and fall back to the
+        legacy tie order, not swallow the tied arrival early."""
+        interval = 0.5
+
+        def build():
+            fleet = cluster(
+                2,
+                autoscaler="queue_depth",
+                min_replicas=2,
+                max_replicas=4,
+                scale_decide_interval=interval,
+                queue_high_watermark=8_192,
+                queue_low_watermark=1_024,
+            )
+            # uniform_arrivals(qps=2) lands every request on an exact
+            # multiple of 0.5 — binary-exact ties with the decide grid.
+            requests = trace(count=12)
+            for request, at in zip(
+                requests, uniform_arrivals(qps=1.0 / interval, count=12)
+            ):
+                request.arrival_time = at
+            fleet.submit(requests)
+            return fleet
+
+        fast, legacy = run_both(build, monkeypatch)
+        assert fingerprint(fast) == fingerprint(legacy)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle edges: drains and the degenerate fleet
+# ----------------------------------------------------------------------
+class TestLifecycleEdges:
+    def test_single_replica_fleet(self, monkeypatch):
+        def build():
+            fleet = cluster(1)
+            fleet.submit(trace(count=12))
+            return fleet
+
+        fast, legacy = run_both(build, monkeypatch)
+        assert fingerprint(fast) == fingerprint(legacy)
+        assert len(fast.finished_records) == 12
+
+    def test_drains_retire_under_fast_loop(self, monkeypatch):
+        """A front-loaded burst followed by a sparse tail forces the
+        elastic fleet through scale-up *and* drain while requests are
+        still arriving."""
+
+        def build():
+            fleet = cluster(
+                2,
+                autoscaler="queue_depth",
+                min_replicas=1,
+                max_replicas=4,
+                scale_decide_interval=0.25,
+                queue_high_watermark=4_096,
+                queue_low_watermark=512,
+            )
+            requests = trace(count=24, qps=16.0)
+            # Sparse tail: the last four requests trickle in long after
+            # the burst has drained, so the fleet scales back down with
+            # traffic still due.
+            for offset, request in enumerate(requests[-4:]):
+                request.arrival_time = 60.0 + 30.0 * offset
+            fleet.submit(requests)
+            return fleet
+
+        fast, legacy = run_both(build, monkeypatch)
+        assert fingerprint(fast) == fingerprint(legacy)
+        assert fast.drain_count >= 1
+        assert len(fast.finished_records) == 24
+
+
+# ----------------------------------------------------------------------
+# Migration landing exactly at a sweep boundary
+# ----------------------------------------------------------------------
+class TestMigrationBoundary:
+    def test_landing_tied_with_arrival(self, monkeypatch):
+        """An arrival scheduled at the exact float instant a migration
+        lands: both dispatch once, in the legacy (arrival-first) order,
+        under either loop."""
+
+        def disagg(extra=None):
+            fleet = cluster(
+                3,
+                policy="cache_aware",
+                disaggregated=True,
+                n_prefill_replicas=1,
+            )
+            requests = trace(count=12)
+            if extra is not None:
+                requests = requests + [extra]
+            fleet.submit(requests)
+            return fleet
+
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", True)
+        probe = disagg().run()
+        landings = sorted(
+            record.decode_request.arrival_time
+            for record in probe.records
+            if record.decode_request is not None
+        )
+        assert landings, "disaggregated run produced no migrations"
+        tied = Request(
+            request_id="tied-arrival",
+            prompt_len=512,
+            max_new_tokens=32,
+            arrival_time=landings[len(landings) // 2],
+        )
+
+        def build():
+            return disagg(
+                extra=Request(
+                    request_id=tied.request_id,
+                    prompt_len=tied.prompt_len,
+                    max_new_tokens=tied.max_new_tokens,
+                    arrival_time=tied.arrival_time,
+                )
+            )
+
+        fast, legacy = run_both(build, monkeypatch)
+        assert fingerprint(fast) == fingerprint(legacy)
+        assert len(fast.finished_records) == 13
+
+
+# ----------------------------------------------------------------------
+# Idle gaps jump the fleet clock
+# ----------------------------------------------------------------------
+class TestIdleJumps:
+    def test_widely_separated_bursts(self, monkeypatch):
+        """Two bursts separated by hours of silence: the loop must jump
+        the idle gap analytically (no replica does per-iteration work
+        with an empty fleet) and serve the late burst as freshly as the
+        first."""
+
+        def build():
+            fleet = cluster(2)
+            requests = trace(count=16, qps=8.0)
+            for request in requests[8:]:
+                request.arrival_time += 10_000.0
+            fleet.submit(requests)
+            return fleet
+
+        fast, legacy = run_both(build, monkeypatch)
+        assert fingerprint(fast) == fingerprint(legacy)
+        late = [
+            record
+            for record in fast.records
+            if record.arrival_time > 10_000.0
+        ]
+        assert late, "no requests landed after the idle gap"
+        assert all(record.ttft < 60.0 for record in late)

@@ -23,7 +23,10 @@ import pytest
 
 import fcfs_golden
 import repro.serving.engine as engine_module
+from repro.cluster.autoscaler import AUTOSCALER_POLICIES
+from repro.cluster.router import policy_names
 from repro.experiments import (
+    ext_autoscale,
     ext_cluster_router,
     ext_prefix_cache,
     ext_sched_policy,
@@ -126,3 +129,131 @@ class TestCatalogueSweep:
         monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", False)
         legacy = SWEEP[name]()
         assert fast == legacy
+
+
+# ----------------------------------------------------------------------
+# The cluster-catalogue sweep (joint-horizon fleet loop on vs off)
+# ----------------------------------------------------------------------
+# Every cluster-driven experiment configuration, at test scale: the
+# three routing policies, the disaggregated prefill/decode split, and
+# one fleet per autoscaler policy. ``ClusterConfig.fast_forward``
+# follows the same module default the engines read, so one flip drives
+# both the fleet loop and every replica's decode fast-forwarding.
+CLUSTER_COUNT = 24
+CLUSTER_QPS = 8.0
+
+
+def _router_case(policy):
+    def case():
+        return ext_cluster_router.serve(
+            2, policy, sharing_factor=4, count=CLUSTER_COUNT, qps=CLUSTER_QPS
+        )
+
+    return case
+
+
+def _disagg_case(interconnect):
+    def case():
+        cluster = ext_cluster_router.build_cluster(
+            4,
+            "cache_aware",
+            disaggregated=True,
+            n_prefill_replicas=2,
+            interconnect=interconnect,
+        )
+        cluster.submit(
+            ext_cluster_router.cluster_trace(
+                count=CLUSTER_COUNT, sharing_factor=4, qps=CLUSTER_QPS
+            )
+        )
+        return cluster.run()
+
+    return case
+
+
+def _autoscale_case(fleet):
+    def case():
+        return ext_autoscale.serve(fleet, count=160, qps=4.0)
+
+    return case
+
+
+CLUSTER_SWEEP = {
+    **{
+        f"router:{policy}": _router_case(policy) for policy in policy_names()
+    },
+    "disagg:nvlink": _disagg_case("nvlink"),
+    "disagg:pcie": _disagg_case("pcie"),
+    "autoscale:static_min": _autoscale_case("static_min"),
+    "autoscale:queue_depth": _autoscale_case("queue_depth"),
+    "autoscale:sla": _autoscale_case("sla"),
+}
+
+
+def _cluster_fingerprint(report):
+    """Request-level exactness: every per-request timing, byte for byte,
+    plus the fleet-level aggregates a report exposes."""
+    return (
+        repr(report.end_time),
+        report.n_replicas,
+        report.migrations,
+        report.migrated_bytes,
+        repr(report.migration_seconds),
+        repr(report.replica_seconds),
+        report.peak_serving,
+        len(report.scale_events),
+        tuple(
+            (
+                record.request_id,
+                record.replica,
+                record.decode_replica,
+                repr(record.ttft),
+                repr(record.e2e_latency),
+                repr(record.serve_request.finish_time),
+            )
+            for record in sorted(
+                report.records, key=lambda record: record.request_id
+            )
+        ),
+    )
+
+
+class TestClusterSweep:
+    @pytest.mark.parametrize("name", sorted(CLUSTER_SWEEP))
+    def test_identical_on_and_off(self, name, monkeypatch):
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", True)
+        fast = _cluster_fingerprint(CLUSTER_SWEEP[name]())
+        monkeypatch.setattr(engine_module, "DEFAULT_FAST_FORWARD", False)
+        legacy = _cluster_fingerprint(CLUSTER_SWEEP[name]())
+        assert fast == legacy
+
+    def test_covers_every_routing_policy(self):
+        swept = {
+            name.split(":", 1)[1]
+            for name in CLUSTER_SWEEP
+            if name.startswith("router:")
+        }
+        assert swept == set(policy_names())
+
+    def test_covers_every_autoscaler_policy(self):
+        swept = {
+            name.split(":", 1)[1]
+            for name in CLUSTER_SWEEP
+            if name.startswith("autoscale:")
+        }
+        policies = {ext_autoscale.FLEETS[fleet][0] for fleet in swept}
+        assert policies == set(AUTOSCALER_POLICIES)
+
+    def test_covers_every_cluster_driver(self):
+        """A new cluster-driven experiment module must join the sweep."""
+        import pathlib
+
+        import repro.experiments
+
+        root = pathlib.Path(repro.experiments.__file__).parent
+        drivers = {
+            path.stem
+            for path in root.glob("*.py")
+            if "ClusterEngine(" in path.read_text()
+        }
+        assert drivers == {"ext_cluster_router", "ext_autoscale"}

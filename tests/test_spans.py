@@ -36,6 +36,7 @@ from repro.models.shard import ShardedModel
 from repro.models.zoo import YI_6B
 from repro.serving.engine import EngineConfig, LLMEngine
 from repro.units import GB
+from repro.workloads.arrival import poisson_arrivals
 from repro.workloads.traces import fixed_trace, shared_prefix_trace
 
 
@@ -109,6 +110,80 @@ class TestFastForwardSpans:
         legacy = attribution.build(legacy_reg.trace_records())
         assert not fast.closure_violations()
         assert not legacy.closure_violations()
+        for a, b in zip(fast.requests, legacy.requests):
+            assert a.request == b.request
+            assert a.e2e == b.e2e
+            for bucket in attribution.BUCKETS:
+                assert a.buckets[bucket] == b.buckets[bucket], bucket
+
+
+class TestClusterFastLoopSpans:
+    """Fleet-level analytic jumps leave the same span record a legacy
+    fleet leaves: one stretch span per decode jump whose window,
+    collapsed iteration count, and summed duration exactly equal the
+    per-iteration train, with identical attribution."""
+
+    def _cluster_run(self, fast_forward: bool):
+        with enabled(TelemetryRegistry(record_spans=True)) as registry:
+            cluster = ClusterEngine(
+                ClusterConfig(
+                    engine=EngineConfig(
+                        shard=ShardedModel(YI_6B, 1),
+                        gpu=A100,
+                        memory_backend="vattention",
+                        max_batch_size=8,
+                        fast_forward=fast_forward,
+                    ),
+                    n_replicas=2,
+                    routing_policy="round_robin",
+                    fast_forward=fast_forward,
+                )
+            )
+            cluster.submit(
+                shared_prefix_trace(
+                    count=16,
+                    sharing_factor=4,
+                    prefix_tokens=2_048,
+                    arrivals=poisson_arrivals(qps=4.0, count=16, seed=31),
+                )
+            )
+            report = cluster.run()
+        return registry, report
+
+    def test_fleet_stretches_match_legacy_span_trains(self):
+        fast_reg, fast_report = self._cluster_run(fast_forward=True)
+        legacy_reg, legacy_report = self._cluster_run(fast_forward=False)
+        assert fast_report.end_time == legacy_report.end_time
+        fast = _decode_spans_by_request(fast_reg)
+        legacy = _decode_spans_by_request(legacy_reg)
+        assert fast.keys() == legacy.keys()
+        stretched = 0
+        for request, legacy_spans in legacy.items():
+            fast_spans = fast[request]
+            assert fast_spans[0].start == legacy_spans[0].start
+            assert fast_spans[-1].end == legacy_spans[-1].end
+            assert (
+                sum(s.extras.get("iterations", 1) for s in fast_spans)
+                == len(legacy_spans)
+            )
+            assert math.fsum(
+                s.duration for s in fast_spans
+            ) == math.fsum(s.duration for s in legacy_spans)
+            stretched += sum(
+                1 for s in fast_spans if s.extras.get("iterations", 1) > 1
+            )
+        assert stretched > 0
+        for spans in legacy.values():
+            assert all(s.extras.get("iterations", 1) == 1 for s in spans)
+
+    def test_cluster_attribution_matches_legacy(self):
+        fast_reg, _ = self._cluster_run(fast_forward=True)
+        legacy_reg, _ = self._cluster_run(fast_forward=False)
+        fast = attribution.build(fast_reg.trace_records())
+        legacy = attribution.build(legacy_reg.trace_records())
+        assert not fast.closure_violations()
+        assert not legacy.closure_violations()
+        assert len(fast.requests) == len(legacy.requests)
         for a, b in zip(fast.requests, legacy.requests):
             assert a.request == b.request
             assert a.e2e == b.e2e

@@ -6,6 +6,7 @@ from repro.errors import ConfigError
 from repro.workloads.arrival import (
     batch_arrivals,
     bursty_arrivals,
+    mmpp_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
@@ -100,6 +101,77 @@ class TestBurstyArrivals:
             bursty_arrivals(qps=1.0, count=10, seed=1, burst_factor=1.0)
         with pytest.raises(ConfigError):
             bursty_arrivals(qps=1.0, count=10, seed=1, mean_on=0.0)
+
+
+class TestMmppArrivals:
+    def test_sorted_positive_and_deterministic(self):
+        arrivals = mmpp_arrivals(
+            rates=(2.0, 8.0), dwells=(20.0, 20.0), count=500, seed=17
+        )
+        assert len(arrivals) == 500
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+        assert arrivals == mmpp_arrivals(
+            rates=(2.0, 8.0), dwells=(20.0, 20.0), count=500, seed=17
+        )
+        assert arrivals != mmpp_arrivals(
+            rates=(2.0, 8.0), dwells=(20.0, 20.0), count=500, seed=18
+        )
+
+    def test_long_run_rate_matches_dwell_weighted_average(self):
+        rates = (1.0, 4.0, 8.0, 2.0)
+        dwells = (50.0, 50.0, 50.0, 50.0)
+        arrivals = mmpp_arrivals(
+            rates=rates, dwells=dwells, count=40_000, seed=5
+        )
+        expected = sum(r * d for r, d in zip(rates, dwells)) / sum(dwells)
+        observed = len(arrivals) / arrivals[-1]
+        assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_diurnal_modulation_shows_in_local_rate(self):
+        # Night (low) and peak (high) phases must be visible as
+        # different local arrival densities, not averaged away.
+        arrivals = mmpp_arrivals(
+            rates=(1.0, 10.0), dwells=(100.0, 100.0), count=20_000, seed=7
+        )
+        gaps = sorted(b - a for a, b in zip(arrivals, arrivals[1:]))
+        median_gap = gaps[len(gaps) // 2]
+        # Most arrivals come from the 10x phase, so the median gap
+        # tracks the peak rate, while the night phase contributes
+        # gaps an order of magnitude wider.
+        assert median_gap < 1.0 / 5.0
+        assert gaps[-1] > 10 * median_gap
+
+    def test_silent_state_pauses_the_stream(self):
+        arrivals = mmpp_arrivals(
+            rates=(5.0, 0.0), dwells=(10.0, 40.0), count=2_000, seed=3
+        )
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # The zero-rate dwell (mean 40s) must show up as long gaps.
+        assert max(gaps) > 20.0
+
+    def test_bursty_arrivals_is_the_two_state_special_case(self):
+        # Same structure: an emitting state and a silent state.
+        arrivals = mmpp_arrivals(
+            rates=(8.0, 0.0), dwells=(10.0, 30.0), count=5_000, seed=9
+        )
+        observed = len(arrivals) / arrivals[-1]
+        # Long-run rate = 8 * 10 / (10 + 30) = 2 qps.
+        assert observed == pytest.approx(2.0, rel=0.2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(), dwells=(), count=10, seed=1)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(1.0,), dwells=(1.0, 2.0), count=10, seed=1)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(0.0, 0.0), dwells=(1.0, 1.0), count=10, seed=1)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(-1.0, 2.0), dwells=(1.0, 1.0), count=10, seed=1)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(1.0, 2.0), dwells=(0.0, 1.0), count=10, seed=1)
+        with pytest.raises(ConfigError):
+            mmpp_arrivals(rates=(1.0,), dwells=(1.0,), count=0, seed=1)
 
 
 class TestTraceSpec:
