@@ -21,10 +21,13 @@ Usage::
     python benchmarks/bench_speed.py --quick    # CI smoke: on beats off
 
 The full run asserts the fig09-class aggregate speedup meets the 5x
-target and the cluster case meets its own 5x target; ``--quick``
-(CI's bench/speed job) only asserts that fast-forwarding beats the
-per-iteration loop on the decode-heavy case, keeping the job robust on
-noisy shared runners.
+target and the cluster case meets the 7x floor (the fleet-vectorized
+loop measures ~8.5x locally; its analytic ceiling on this case is
+~10x — the fast side's floor is the shared per-iteration cost of the
+96 prefills, singleton stretches, and routing the slow side also
+pays); ``--quick`` (CI's bench/speed job) only asserts that
+fast-forwarding beats the per-iteration loop on the decode-heavy
+case, keeping the job robust on noisy shared runners.
 """
 
 from __future__ import annotations
@@ -228,8 +231,8 @@ def main(argv=None) -> int:
         assert fig09_speedup >= 5.0, (
             f"fig09-class speedup {fig09_speedup:.2f}x misses the 5x target"
         )
-        assert cluster_speedup >= 5.0, (
-            f"cluster speedup {cluster_speedup:.2f}x misses the 5x target"
+        assert cluster_speedup >= 7.0, (
+            f"cluster speedup {cluster_speedup:.2f}x misses the 7x target"
         )
     return 0
 

@@ -365,7 +365,7 @@ class PrefixCacheManager(MemoryBackend):
             self.inner.release(request)
             return
         live.live = False
-        live.last_access = self.clock.now
+        self.tree.touch(live, self.clock.now)
         handle = self.inner.detach(request)
         if handle != live.slot:  # pragma: no cover - defensive
             raise SchedulingError(

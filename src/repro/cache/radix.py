@@ -165,7 +165,7 @@ class RadixTree:
         if best is None or matched <= 0:
             self.stats.misses += 1
             return None, 0
-        best.last_access = now
+        self.touch(best, now)
         best.hits += 1
         self.stats.hits += 1
         self.stats.hit_tokens += matched
@@ -191,6 +191,12 @@ class RadixTree:
         if best is None or matched <= 0:
             return None, 0
         return best, matched
+
+    def touch(self, entry: PrefixEntry, now: float) -> None:
+        """Refresh ``entry``'s LRU timestamp. The timestamp breaks
+        ``_fresher`` ties, so every ``last_access`` write routes
+        through here — one site to audit for LRU-order changes."""
+        entry.last_access = now
 
     def _best_match(
         self, query: Tuple[int, ...]

@@ -59,6 +59,7 @@ from ..scheduling import validate_scheduler_policy
 from ..serving.engine import EngineConfig, LLMEngine, _default_fast_forward
 from ..serving.request import Request
 from ..sim.events import EventKind, EventQueue
+from ..sim.fastforward import FleetStretchExecutor, StretchOracle
 from .autoscaler import (
     FleetView,
     ReplicaState,
@@ -274,6 +275,155 @@ class Replica(ReplicaView):
         return f"Replica({self.index}, {self.role})"
 
 
+class _ReplicaReplay(ReplicaView):
+    """One serving replica as the router observes it at window instants,
+    answered analytically where provable.
+
+    Window routing binds every view to the arrival instant with
+    :meth:`at` before each ``select``. While a replica's closed-form
+    predictor (:class:`~repro.sim.fastforward.StretchOracle`, or a
+    constant for idle/parked/overshot replicas) is valid, observations
+    cost a ``searchsorted`` (backlog) or a frozen-tree probe (cache) —
+    no sweep. When the predictor expires, or the replica just received
+    a submission it cannot see (:meth:`invalidate`), the replica is
+    swept to the query instant with a real ``run_until`` — exact by the
+    run-until composition the fast loop is built on — and the predictor
+    rebuilt from a fresh steady-stretch prep. Every answer therefore
+    equals what per-arrival dispatch would have observed.
+
+    Views persist *across* arrival windows (the cluster loop caches
+    them per replica and only refreshes the window bound). Predictor
+    answers stay exact across the intervening fleet execution because:
+
+    * every mutation a prediction cannot model bumps the engine's
+      ``_prep_version`` (submission, drain entry, preemption) — checked
+      on every query;
+    * execution between windows only runs the *modeled* iterations for
+      an untouched replica: the fleet executor's stretches are
+      deterministic continuations of the prepped stretch, the oracle's
+      validity edge precedes the first completion and the first
+      possible hook effect, and queries are monotone past every sweep
+      horizon — so any execution beyond the modeled span implies the
+      next query time already expired the predictor;
+    * an idle replica cannot change except by submission, and a parked
+      replica cannot change before its next pending arrival (its
+      validity bound) — sweeps to earlier instants are no-ops.
+    """
+
+    __slots__ = (
+        "replica",
+        "index",
+        "_bound",
+        "_time",
+        "_base",
+        "_oracle",
+        "_valid",
+        "_version",
+        "_state",
+    )
+
+    def __init__(self, replica: Replica, bound: float) -> None:
+        self.replica = replica
+        self.index = replica.index
+        self._bound = bound
+        self._time = 0.0
+        self._base = 0
+        self._oracle: Optional[StretchOracle] = None
+        self._valid = -math.inf
+        self._version = -1
+        self._state: Optional[tuple] = None
+
+    def rebind(self, bound: float) -> None:
+        """Adopt a new arrival window's fleet-event bound."""
+        self._bound = bound
+
+    def at(self, time: float) -> None:
+        """Bind observations to the arrival instant ``time``."""
+        self._time = time
+        engine = self.replica.engine
+        if time < self._valid and engine._prep_version == self._version:
+            return
+        clock_now = engine.clock.now
+        if (
+            clock_now >= time
+            and (engine._prep_version, clock_now) == self._state
+        ):
+            # The engine's clock already overshot the query instant and
+            # its state pair is unchanged since the last rebuild:
+            # ``run_until(time)`` is a provable no-op (the serve
+            # prologue is idempotent at a fixed state pair), so the
+            # observed state — and every answer derived from it — is
+            # identical to the last rebuild's. Common for opaque
+            # replicas queried repeatedly inside an arrival burst.
+            return
+        engine.run_until(time)
+        self._rebuild()
+        self._version = engine._prep_version
+        self._state = (engine._prep_version, engine.clock.now)
+
+    def invalidate(self) -> None:
+        """Force a sweep + rebuild before the next observation."""
+        self._valid = -math.inf
+        self._state = None
+
+    def _rebuild(self) -> None:
+        engine = self.replica.engine
+        self._oracle = None
+        self._base = engine.outstanding_tokens
+        if not engine.has_work():
+            # Idle: nothing changes until the next submission (which
+            # bumps the version stamp) — backlog stays 0, the tree
+            # stays frozen.
+            self._valid = math.inf
+            return
+        # An unbounded deadline: the oracle's own validity edge (hook
+        # quiescence, the completion bound) is what limits it, so a
+        # quiet replica's predictor survives into later windows.
+        prep = engine.begin_steady_stretch(math.inf)
+        if prep is not None:
+            oracle = StretchOracle.build(prep)
+            if oracle is not None:
+                self._oracle = oracle
+                self._valid = oracle.valid_until
+            else:
+                # Hooks may fire at once: opaque — sweep per query.
+                self._valid = -math.inf
+        elif engine.clock.now >= self._bound:
+            # Overshot the whole window: ``run_until(t < bound)`` is a
+            # provable no-op, so the observed state is constant for the
+            # rest of *this* window (later windows must re-prove).
+            self._valid = self._bound
+        elif not engine._running:
+            # Parked: nothing is admitted and nothing can start before
+            # the next pending arrival; constant until then.
+            pending = engine._pending
+            self._valid = (
+                min(r.arrival_time for r in pending)
+                if pending
+                else math.inf
+            )
+        else:
+            # Running but no provable steady stretch (prefill next,
+            # stretch too short, ...): opaque — sweep per query.
+            self._valid = -math.inf
+
+    @property
+    def outstanding_tokens(self) -> int:
+        oracle = self._oracle
+        if oracle is None:
+            return self._base
+        return self._base - oracle.batch_size * oracle.iterations_before(
+            self._time
+        )
+
+    def probe_prefix(self, request: Request) -> int:
+        # A valid predictor freezes the radix tree (pure decode
+        # completes no prefill and retires nothing inside the validity
+        # span), so the live tree *is* the snapshot at every instant
+        # this window can ask about.
+        return self.replica.probe_prefix(request)
+
+
 @dataclass
 class _Migration:
     """One KV handoff in flight on the interconnect (a MIGRATION
@@ -383,6 +533,19 @@ class ClusterEngine:
         self._telemetry: Optional[ClusterTelemetry] = (
             registry.cluster_telemetry() if registry is not None else None
         )
+        #: Cross-replica stretch batching (fast loop only). Gated off
+        #: under telemetry: interleaved stretch execution is request-
+        #: level identical but emits per-replica instruments in a
+        #: different global order than whole-window sweeps would.
+        self._fleet_exec: Optional[FleetStretchExecutor] = (
+            FleetStretchExecutor()
+            if config.fast_forward and self._telemetry is None
+            else None
+        )
+        #: Persistent analytic router views (state-aware window
+        #: routing), keyed by replica index; see :class:`_ReplicaReplay`
+        #: for why their predictors survive across windows.
+        self._replay_views: Dict[int, _ReplicaReplay] = {}
 
     # ------------------------------------------------------------------
     # Submission
@@ -453,8 +616,13 @@ class ClusterEngine:
         else:
             self._run_event_loop()
         # Decode replicas never create events; they drain last.
-        for replica in self.replicas:
-            replica.engine.run_until(math.inf)
+        if self._fleet_exec is not None:
+            self._fleet_exec.sweep(
+                [replica.engine for replica in self.replicas], math.inf
+            )
+        else:
+            for replica in self.replicas:
+                replica.engine.run_until(math.inf)
         if self._elastic:
             self._finalize_drains()
         return self._build_report()
@@ -538,6 +706,18 @@ class ClusterEngine:
           admissions. The serving set cannot change inside the window
           (lifecycle transitions bound it), so the routing sequence is
           the one the legacy loop produces.
+        * One sweep of the whole fleet per arrival, *state-aware*
+          edition. A policy whose observations all go through the
+          :class:`~repro.cluster.router.ReplicaView` interface
+          (``supports_analytic_replay``) routes the same windows
+          against :class:`_ReplicaReplay` views: each replica's
+          backlog is replayed closed-form from its steady decode
+          stretch and its radix tree probed frozen, with a real
+          single-replica sweep exactly where a closed form expires (on
+          submission, at a stretch's hook/completion edge, or past a
+          predictor's ``stop_time``). Observations — and therefore
+          routing decisions — are provably those of per-arrival
+          dispatch.
         """
         events = self._events
         batch_arrivals = (
@@ -545,11 +725,23 @@ class ClusterEngine:
             and not self.config.disaggregated
             and not self.router.observes_state
         )
+        window_arrivals = (
+            self._telemetry is None
+            and not self.config.disaggregated
+            and self.router.observes_state
+            and self.router.supports_analytic_replay
+        )
+        fleet = self._fleet_exec
         while True:
             horizon = self._joint_horizon()
-            for replica in self._route_targets:
-                if replica.engine.has_work():
-                    replica.engine.run_until(horizon)
+            if fleet is not None:
+                fleet.sweep(
+                    [r.engine for r in self._route_targets], horizon
+                )
+            else:
+                for replica in self._route_targets:
+                    if replica.engine.has_work():
+                        replica.engine.run_until(horizon)
             self._schedule_transfers()
             if self._elastic:
                 self._check_drain_completions()
@@ -560,13 +752,30 @@ class ClusterEngine:
             for replica in self._decode_targets:
                 if replica.engine.has_work():
                     replica.engine.run_until(now)
-            if batch_arrivals and head.kind is EventKind.ARRIVAL:
-                bound = min(
-                    events.next_time(EventKind.SCALE_UP),
-                    events.next_time(EventKind.MIGRATION),
-                    events.next_time(EventKind.SCALE_DECIDE),
-                    events.next_time(EventKind.DRAIN_COMPLETE),
-                )
+            if (
+                batch_arrivals or window_arrivals
+            ) and head.kind is EventKind.ARRIVAL:
+                bound = events.next_fleet_event()
+                replay = None
+                if window_arrivals:
+                    # Persistent per-replica views: a replica whose
+                    # predictor is still valid (nothing was submitted
+                    # to it and its stretch edge lies ahead) carries
+                    # its closed form into this window — no sweep, no
+                    # re-prep. Stale cache entries (scaled-away
+                    # replicas, reused indices) are replaced.
+                    cache = self._replay_views
+                    replay = []
+                    for r in self._route_targets:
+                        if not r.is_serving:
+                            continue
+                        view = cache.get(r.index)
+                        if view is None or view.replica is not r:
+                            view = _ReplicaReplay(r, bound)
+                            cache[r.index] = view
+                        else:
+                            view.rebind(bound)
+                        replay.append(view)
                 routed = False
                 while True:
                     head = events.peek()
@@ -577,7 +786,14 @@ class ClusterEngine:
                     ):
                         break
                     events.pop()
-                    self._route(head.payload)
+                    if replay is None:
+                        self._route(head.payload)
+                    else:
+                        for view in replay:
+                            view.at(head.time)
+                        choice = self.router.select(head.payload, replay)
+                        self._dispatch_to(head.payload, choice.replica)
+                        choice.invalidate()
                     routed = True
                 if routed:
                     continue
@@ -596,6 +812,10 @@ class ClusterEngine:
         # no-op (the router sees the identical sequence it always did).
         targets = [r for r in self._route_targets if r.is_serving]
         replica = self.router.select(request, targets)
+        self._dispatch_to(request, replica)
+
+    def _dispatch_to(self, request: Request, replica: Replica) -> None:
+        """Book ``request`` onto its selected replica (record + submit)."""
         original_arrival = self._rerouted_arrivals.pop(
             request.request_id, None
         )

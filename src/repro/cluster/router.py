@@ -57,6 +57,19 @@ class RoutingPolicy(abc.ABC):
     #: dispatch whole arrival windows before sweeping the replicas.
     observes_state: bool = True
 
+    #: Whether every observation :meth:`select` makes goes through the
+    #: :class:`ReplicaView` interface alone (``outstanding_tokens``,
+    #: ``probe_prefix``). The cluster fast loop may then route whole
+    #: arrival windows against *analytic* replica views: outstanding
+    #: tokens replayed closed-form from each replica's steady decode
+    #: stretch and cache probes against its provably-frozen radix tree,
+    #: with a real replica sweep only where a closed form expires — so
+    #: window decisions are exactly per-arrival dispatch's. Policies
+    #: that reach around the view, or whose cross-call state depends on
+    #: *when* replicas are simulated, must leave this ``False``; they
+    #: then route one arrival at a time.
+    supports_analytic_replay: bool = False
+
     @abc.abstractmethod
     def select(
         self, request: Request, replicas: Sequence[ReplicaView]
@@ -73,6 +86,7 @@ class RoundRobinPolicy(RoutingPolicy):
 
     name = "round_robin"
     observes_state = False
+    supports_analytic_replay = True
 
     def __init__(self) -> None:
         self._next = 0
@@ -91,6 +105,7 @@ class LeastOutstandingPolicy(RoutingPolicy):
     """Route to the replica with the smallest token backlog."""
 
     name = "least_outstanding_tokens"
+    supports_analytic_replay = True
 
     def select(
         self, request: Request, replicas: Sequence[ReplicaView]
@@ -111,6 +126,7 @@ class CacheAwarePolicy(RoutingPolicy):
     """
 
     name = "cache_aware"
+    supports_analytic_replay = True
 
     def __init__(
         self, balance_abs_tokens: int = 16_384, balance_rel: float = 1.5

@@ -162,12 +162,12 @@ class VAttention:
     @property
     def cached_rows(self) -> int:
         """Rows mapped into *inactive* slots (deferred reclamation cache)."""
-        return sum(s.mapped_rows for s in self.slots if not s.active)
+        return sum(len(s.rows) for s in self.slots if not s.active)
 
     @property
     def active_rows(self) -> int:
         """Rows mapped into active slots."""
-        return sum(s.mapped_rows for s in self.slots if s.active)
+        return sum(len(s.rows) for s in self.slots if s.active)
 
     @property
     def excess_active_rows(self) -> int:
@@ -178,16 +178,36 @@ class VAttention:
         unused and reclaimable under pressure.
         """
         total = 0
+        tokens_per_row = self._tokens_per_row
         for slot in self.slots:
             if slot.active:
-                needed = self.rows_for_context(slot.context_len + 1)
-                total += max(0, slot.mapped_rows - needed)
+                excess = len(slot.rows) + (
+                    -(slot.context_len + 1) // tokens_per_row
+                )
+                if excess > 0:
+                    total += excess
         return total
 
     @property
     def available_rows(self) -> int:
-        """Rows obtainable without disturbing any request's live KV state."""
-        return self.free_rows + self.cached_rows + self.excess_active_rows
+        """Rows obtainable without disturbing any request's live KV state.
+
+        One pass over the slots (this backs every admission query and
+        ``step``'s feasibility check): free rows, plus inactive slots'
+        cached rows, plus active slots' excess beyond near-term need.
+        """
+        total = len(self._free_rows)
+        tokens_per_row = self._tokens_per_row
+        for slot in self.slots:
+            if slot.active:
+                excess = len(slot.rows) + (
+                    -(slot.context_len + 1) // tokens_per_row
+                )
+                if excess > 0:
+                    total += excess
+            else:
+                total += len(slot.rows)
+        return total
 
     def rows_for_context(self, context_len: int) -> int:
         """Rows needed to back ``context_len`` tokens.

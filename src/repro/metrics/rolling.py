@@ -11,15 +11,24 @@ percentile / attainment queries over what remains.
 Observations must arrive in non-decreasing time order (the simulation
 feeds completions as virtual time advances), which keeps pruning a
 popleft loop rather than a scan.
+
+The tracker maintains a sorted companion list of the in-window values
+alongside the time-ordered deque: ``observe`` inserts with
+``bisect.insort`` (O(n) shift, O(log n) search) and pruning removes the
+expired value by bisection. Percentile and attainment queries then read
+the already-sorted list directly instead of re-sorting the window on
+every call — the sort that used to run per scale decision is amortised
+into the inserts.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, bisect_right, insort
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from ..errors import ConfigError
-from .stats import percentile
 
 
 class RollingPercentileTracker:
@@ -37,6 +46,7 @@ class RollingPercentileTracker:
             )
         self.window_seconds = window_seconds
         self._samples: Deque[Tuple[float, float]] = deque()
+        self._sorted: List[float] = []
         self._last_time = float("-inf")
         #: Observations ever fed (survives pruning).
         self.total_observations = 0
@@ -53,6 +63,7 @@ class RollingPercentileTracker:
             )
         self._last_time = time
         self._samples.append((time, value))
+        insort(self._sorted, value)
         self.total_observations += 1
 
     def prune(self, now: float) -> None:
@@ -60,8 +71,14 @@ class RollingPercentileTracker:
         if self.window_seconds is None:
             return
         horizon = now - self.window_seconds
-        while self._samples and self._samples[0][0] < horizon:
-            self._samples.popleft()
+        samples = self._samples
+        ordered = self._sorted
+        while samples and samples[0][0] < horizon:
+            _, value = samples.popleft()
+            # The expired value is present verbatim in the sorted list;
+            # with duplicates, dropping the leftmost equal element keeps
+            # the multiset identical to the deque's values.
+            del ordered[bisect_left(ordered, value)]
 
     # ------------------------------------------------------------------
     def values(self, now: Optional[float] = None) -> List[float]:
@@ -76,10 +93,24 @@ class RollingPercentileTracker:
     def percentile(self, q: float, now: Optional[float] = None
                    ) -> Optional[float]:
         """In-window percentile, ``None`` while the window is empty."""
-        values = self.values(now)
-        if not values:
+        if now is not None:
+            self.prune(now)
+        ordered = self._sorted
+        if not ordered:
             return None
-        return percentile(values, q)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        # Same linear interpolation as :func:`repro.metrics.stats.percentile`
+        # — applied to the incrementally maintained order, skipping the sort.
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
     def attainment(
         self, threshold: float, now: Optional[float] = None
@@ -90,7 +121,9 @@ class RollingPercentileTracker:
         ``threshold`` is the objective; ``None`` while the window is
         empty (no evidence either way).
         """
-        values = self.values(now)
-        if not values:
+        if now is not None:
+            self.prune(now)
+        ordered = self._sorted
+        if not ordered:
             return None
-        return sum(1 for v in values if v <= threshold) / len(values)
+        return bisect_right(ordered, threshold) / len(ordered)

@@ -73,8 +73,9 @@ class FcfsPolicy(SchedulerPolicy):
         bounds are the only limits. A pending prefill means the next
         plan is not a decode at all.
         """
-        if any(r.needs_prefill for r in running):
-            return 0
+        for request in running:
+            if request.needs_prefill:
+                return 0
         return math.inf
 
 

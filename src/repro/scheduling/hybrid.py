@@ -108,6 +108,7 @@ class HybridBatchPolicy(SchedulerPolicy):
         and the plan is stable until an arrival or completion, which the
         engine bounds.
         """
-        if any(r.needs_prefill for r in running):
-            return 0
+        for request in running:
+            if request.needs_prefill:
+                return 0
         return math.inf

@@ -105,6 +105,7 @@ class SlaAwarePolicy(SchedulerPolicy):
         arrives (an engine-level bound) or a prefill appears. So the
         decode plan is as stable as FCFS's.
         """
-        if any(r.needs_prefill for r in running):
-            return 0
+        for request in running:
+            if request.needs_prefill:
+                return 0
         return math.inf

@@ -268,6 +268,22 @@ class LLMEngine:
         #: Graceful-shutdown mode (:meth:`begin_drain`): no *new* work
         #: is admitted; in-flight and preempted requests still finish.
         self.draining = False
+        #: Incremental token backlog (see :attr:`outstanding_tokens`).
+        #: Every site that changes a tracked request's contribution —
+        #: submission, withdrawal, prefill progress, decode tokens,
+        #: preemption, retirement — applies the exact integer delta, so
+        #: the counter always equals the O(n) scan it replaced.
+        self._outstanding = 0
+        #: Monotone stamp of scheduling-state changes that do *not*
+        #: move the clock: submissions, drain entry, preemptions. Every
+        #: other mutation an executed iteration makes advances the
+        #: clock, so (clock value, this stamp) together identify an
+        #: engine state exactly — the decode fast-forwarder memoizes
+        #: its staged-but-unexecuted stretch prep against the pair.
+        self._prep_version = 0
+        #: Last :class:`SchedulingView` handed out; reused while the
+        #: clock and drain flag are unchanged (views are frozen).
+        self._view_cache: Optional[SchedulingView] = None
 
     # ------------------------------------------------------------------
     def _build_memory(self) -> MemoryBackend:
@@ -347,6 +363,8 @@ class LLMEngine:
         for request in ordered:
             self._pending.append(request)
             self._all_requests.append(request)
+            self._outstanding += self._contribution(request)
+        self._prep_version += 1
 
     def run(self, max_iterations: Optional[int] = None) -> RunReport:
         """Serve all submitted requests; returns the run report."""
@@ -386,6 +404,34 @@ class LLMEngine:
         Returns the number of iterations executed.
         """
         return self._serve(deadline, None)
+
+    def begin_steady_stretch(self, deadline: float):
+        """Stage this engine's next analytic decode stretch, if provable.
+
+        Replays the serve loop's prologue (arrival ingestion, the
+        serving-start stamp, admission) exactly as a
+        ``run_until(deadline)`` pass would — the prologue is idempotent,
+        so a subsequent ``run_until`` composes exactly — then *prepares*
+        the decode stretch the fast-forwarder would execute next,
+        without executing it. Returns a stretch prep for
+        :meth:`repro.sim.fastforward.DecodeFastForwarder.finish`, or
+        ``None`` when the next step is not a provable steady stretch
+        (idle gap, pending prefill, imminent event — the caller falls
+        back to ``run_until``). Preparation is side-effect free, so an
+        unfinished prep may be abandoned. The cluster's fleet executor
+        uses this to stack concurrent stretches across replicas.
+        """
+        if not self.config.fast_forward or not self.has_work():
+            return None
+        self._ingest_arrivals()
+        if self._serve_start is None and (self._waiting or self._running):
+            self._serve_start = self.clock.now
+        self._admit()
+        if not self._running:
+            return None
+        if self.clock.now >= deadline:
+            return None
+        return self._fast.prepare(deadline, None)
 
     def _serve(
         self, deadline: float, max_iterations: Optional[int]
@@ -489,6 +535,7 @@ class LLMEngine:
         rejected by the cluster layer routing around this replica.
         """
         self.draining = True
+        self._prep_version += 1
         withdrawn: List[Request] = []
         dequeued: List[Request] = []
         for queue in (self._pending, self._waiting):
@@ -503,11 +550,19 @@ class LLMEngine:
                         dequeued.append(request)
         for request in withdrawn:
             self._all_requests.remove(request)
+            self._outstanding -= self._contribution(request)
         if self.telemetry is not None:
             for request in dequeued:
                 self.telemetry.on_withdrawn(self, request)
         withdrawn.sort(key=lambda r: (r.arrival_time, r.request_id))
         return withdrawn
+
+    @staticmethod
+    def _contribution(request: Request) -> int:
+        """``request``'s share of :attr:`outstanding_tokens`."""
+        return (request.prompt_len - request.prefilled_tokens) + max(
+            0, request.max_new_tokens - request.generated
+        )
 
     @property
     def outstanding_tokens(self) -> int:
@@ -515,11 +570,16 @@ class LLMEngine:
         tokens plus decode tokens yet to be generated, across every
         routed-but-unfinished request. The load signal the cluster's
         ``least_outstanding_tokens`` and ``cache_aware`` routers read.
+        Maintained incrementally (O(1) to read — the cluster router and
+        autoscaler read it per arrival and per decide).
         """
+        return self._outstanding
+
+    def _scan_outstanding(self) -> int:
+        """O(n) recount of :attr:`outstanding_tokens` (test oracle)."""
         total = 0
         for request in (*self._pending, *self._waiting, *self._running):
-            total += request.prompt_len - request.prefilled_tokens
-            total += max(0, request.max_new_tokens - request.generated)
+            total += self._contribution(request)
         return total
 
     def _ingest_arrivals(self) -> None:
@@ -533,14 +593,30 @@ class LLMEngine:
     # Scheduling-policy plumbing
     # ------------------------------------------------------------------
     def _scheduling_view(self) -> SchedulingView:
-        """The observable state a policy decision may depend on."""
-        return SchedulingView(
+        """The observable state a policy decision may depend on.
+
+        Views are immutable and fully determined by the clock and the
+        drain flag (the other fields are engine constants), so the last
+        one is reused until either moves — this sits on the prepare/
+        admission hot paths, which rebuild views far more often than
+        the state changes.
+        """
+        view = self._view_cache
+        if (
+            view is not None
+            and view.now == self.clock.now
+            and view.draining is self.draining
+        ):
+            return view
+        view = SchedulingView(
             now=self.clock.now,
             max_batch_size=self.config.max_batch_size,
             prefill_chunk_size=self.config.prefill_chunk_size,
             cached_prefix_tokens=self._probe_cached_prefix,
             draining=self.draining,
         )
+        self._view_cache = view
+        return view
 
     def _probe_cached_prefix(self, request: Request) -> int:
         """Prompt tokens the prefix cache would alias, side-effect-free.
@@ -610,7 +686,9 @@ class LLMEngine:
     def _run_prefill(self, request: Request) -> None:
         shard, gpu = self.config.shard, self.config.gpu
         before = self.clock.now
+        held = self._contribution(request)
         self.memory.before_prefill(request)
+        self._outstanding += self._contribution(request) - held
         self._prepare_or_preempt(
             participants=lambda: (
                 [request] if request.state is RequestState.RUNNING else []
@@ -640,7 +718,9 @@ class LLMEngine:
             + self.config.iteration_cpu_overhead
         )
         self.clock.advance(compute)
+        held = self._contribution(request)
         request.record_prefill(self.clock.now)
+        self._outstanding += self._contribution(request) - held
         self.memory.note_prefill_complete(request)
         self.memory.after_iteration(compute)
         record = IterationRecord(
@@ -680,7 +760,9 @@ class LLMEngine:
         # first mixed iteration — not just the iteration chunking it.
         for request in self._running:
             if request.needs_prefill and request.prefilled_tokens == 0:
+                held = self._contribution(request)
                 self.memory.before_prefill(request)
+                self._outstanding += self._contribution(request) - held
         self._prepare_or_preempt(
             participants=lambda: list(self._running), protected=prefill
         )
@@ -728,11 +810,16 @@ class LLMEngine:
             + self.config.per_seq_cpu_overhead * (len(decodes) + 1)
         )
         self.clock.advance(compute)
+        held = self._contribution(prefill)
         prefill.record_prefill_chunk(chunk, self.clock.now)
+        self._outstanding += self._contribution(prefill) - held
         if prefill.prefill_done:
             self.memory.note_prefill_complete(prefill)
         for request in decodes:
             request.record_decode_token(self.clock.now)
+        # Each decode owed at least one more token (it would have been
+        # retired otherwise), so the backlog shrinks by exactly one per.
+        self._outstanding -= len(decodes)
         self.memory.after_iteration(compute)
         record = IterationRecord(
             start_time=before,
@@ -772,6 +859,7 @@ class LLMEngine:
         self.clock.advance(compute)
         for request in batch:
             request.record_decode_token(self.clock.now)
+        self._outstanding -= len(batch)
         self.memory.after_iteration(compute)
         record = IterationRecord(
             start_time=before,
@@ -830,6 +918,8 @@ class LLMEngine:
 
     def _evict(self, victim: Request) -> None:
         """Apply the configured preemption policy to ``victim``."""
+        self._prep_version += 1
+        held = self._contribution(victim)
         nbytes = victim.context_len * self.config.shard.kv_bytes_per_token
         if (
             self.swap_space is not None
@@ -842,13 +932,27 @@ class LLMEngine:
             )
         else:
             victim.preempt()
+        self._outstanding += self._contribution(victim) - held
 
     def _retire_finished(self) -> None:
+        # Runs after every iteration; most find nothing to retire, so
+        # scan first (inlining context_len) and only rebuild the
+        # running list when a request actually finished.
+        max_context = self.config.shard.max_context
+        for request in self._running:
+            if request.generated >= request.max_new_tokens or (
+                request.prompt_len + request.generated >= max_context
+            ):
+                break
+        else:
+            return
         still_running: List[Request] = []
         for request in self._running:
             if request.generated >= request.max_new_tokens or (
-                request.context_len >= self.config.shard.max_context
+                request.prompt_len + request.generated >= max_context
             ):
+                # Context-cap finishes leave unserved budget behind.
+                self._outstanding -= self._contribution(request)
                 self.memory.retire(request)
                 request.finish(self.clock.now)
                 if self.telemetry is not None:

@@ -187,7 +187,10 @@ class _VattentionDecodePlan(DecodeFastPath):
         #: ordering is equally frozen (only alloc/free/step touch it),
         #: so the reclamation victim order is computed once.
         self._inactive = [s for s in manager.slots if not s.active]
-        self._victims = sorted(self._inactive, key=lambda s: s.last_used)
+        #: Reclamation victim order, sorted lazily on first use: most
+        #: plans are built only to bound a stretch (oracle preps, view
+        #: rebuilds) and never reach a reclamation hook.
+        self._victims: Optional[List[RequestSlot]] = None
         #: Cached eager-allocation target. Its key can only *grow*
         #: between hook iterations (eager maps rows into it) — a rescan
         #: is needed only after reclamation drains rows from it.
@@ -199,7 +202,7 @@ class _VattentionDecodePlan(DecodeFastPath):
         #: cheap detector for reclamation touching a batch slot).
         self._cross_at: List[float] = []
         self._next_cross: float = float("inf")
-        self._batch_rows = sum(slot.mapped_rows for slot, _ in slots)
+        self._batch_rows = sum(len(slot.rows) for slot, _ in slots)
         if overlap:
             self._compute_crossings(-1)
 
@@ -213,9 +216,9 @@ class _VattentionDecodePlan(DecodeFastPath):
         with ``capacity = mapped_rows * tokens_per_row``.
         """
         self._cross_at = []
+        tokens_per_row = self._tokens_per_row
         for slot, c0 in self._slots:
-            capacity = slot.mapped_rows * self._tokens_per_row
-            cross = capacity - c0 - 1
+            cross = len(slot.rows) * tokens_per_row - c0 - 1
             self._cross_at.append(cross if cross > after else float("-inf"))
         self._next_cross = min(self._cross_at, default=float("inf"))
 
@@ -277,7 +280,12 @@ class _VattentionDecodePlan(DecodeFastPath):
             # exactly what the slow path would.
             if not crossed:
                 self._sync_contexts(iteration)
-            manager._maintain_free_threshold(self._victims)
+            victims = self._victims
+            if victims is None:
+                victims = self._victims = sorted(
+                    self._inactive, key=lambda s: s.last_used
+                )
+            manager._maintain_free_threshold(victims)
             batch_rows = sum(len(slot.rows) for slot, _ in self._slots)
             if batch_rows != self._batch_rows:
                 self._batch_rows = batch_rows
@@ -305,6 +313,40 @@ class _VattentionDecodePlan(DecodeFastPath):
                     # the critical path — no longer steady.
                     keep_going = False
         return keep_going
+
+    def quiescent_until(self, iteration: int, n: int) -> int:
+        """Provable no-op hook span: no crossing due, eager converged,
+        free pool above the reclamation threshold, worker drained.
+
+        Between no-op hooks nothing touches the manager (crossings are
+        the only batch-slot growth, eager the only inactive-slot growth,
+        reclamation the only drain, and the worker the only window
+        consumer — all quiet here), so the conditions checked once hold
+        across the whole span, up to the next scheduled crossing.
+        """
+        if iteration >= self._next_cross:
+            return iteration  # a crossing is due: run the hook
+        manager = self.manager
+        if self._eager and self._inactive:
+            target = self._eager_target
+            if (
+                target is None
+                or len(target.rows) < self._eager_target_rows
+                or (
+                    len(target.rows) < self._eager_page_groups
+                    and manager._free_rows
+                )
+            ):
+                return iteration  # eager would rescan or map
+        if self._deferred and len(manager._free_rows) < self._minimum_free:
+            return iteration  # reclamation would run
+        if self._overlap:
+            worker = manager.background
+            if worker.critical_pending or worker.opportunistic_pending:
+                return iteration  # the worker still consumes windows
+        if self._next_cross >= n:
+            return n
+        return int(self._next_cross)
 
     def commit(self, executed: int, last_step_now: float) -> None:
         for slot, c0 in self._slots:

@@ -117,6 +117,20 @@ class EventQueue:
         heap = self._heaps[kind]
         return heap[0].time if heap else float("inf")
 
+    def next_fleet_event(self) -> float:
+        """Earliest scheduled *non-arrival* event (inf if none).
+
+        The bound an arrival window must not cross: every other kind —
+        boot transitions, migrations landing, scale decisions, drain
+        completions — can change the fleet state a routing decision
+        observes, while an arrival only adds the work being routed.
+        """
+        return min(
+            self.next_time(kind)
+            for kind in EventKind
+            if kind is not EventKind.ARRIVAL
+        )
+
     def __len__(self) -> int:
         return sum(len(heap) for heap in self._heaps.values())
 

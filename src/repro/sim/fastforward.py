@@ -38,7 +38,8 @@ spells out the contract):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+import bisect
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 try:  # pragma: no cover - numpy is part of the baked toolchain
     import numpy as _np
@@ -59,6 +60,12 @@ UNBOUNDED_HORIZON = 1 << 62
 #: Minimum provable horizon at which the vectorized executor pays for
 #: its array setup; shorter stretches run the scalar loop.
 VECTOR_THRESHOLD = 8
+
+#: Minimum summed horizon (iterations across replicas) at which the
+#: fleet executor stacks concurrent stretches into one batched series
+#: evaluation; below it each stretch runs its own (vector or scalar)
+#: path — the stacking bookkeeping would cost more than it saves.
+FLEET_VOLUME_THRESHOLD = 64
 
 
 class DecodeFastPath:
@@ -99,6 +106,19 @@ class DecodeFastPath:
         """Observe one executed iteration; ``False`` ends the stretch."""
         return True  # pragma: no cover - hook-less plans never call this
 
+    def quiescent_until(self, iteration: int, n: int) -> int:
+        """Largest ``j <= n`` with hooks for ``[iteration, j)`` provably
+        no-ops.
+
+        A hook iteration is a *no-op* when :meth:`on_iteration` would
+        mutate nothing and return ``True`` — the executor may then skip
+        the calls wholesale, which is exact because a no-op changes no
+        state the next hook decision reads. Plans that cannot prove a
+        span return ``iteration`` (skip nothing), the conservative
+        default.
+        """
+        return iteration
+
     def commit(self, executed: int, last_step_now: float) -> None:
         """Apply the aggregate state of ``executed`` iterations.
 
@@ -127,11 +147,169 @@ class SteadyDecodeFastPath(DecodeFastPath):
             self._commit(executed, last_step_now)
 
 
+class _StretchPrep:
+    """A prepared — not yet executed — steady decode stretch.
+
+    :meth:`DecodeFastForwarder.prepare` builds one from pure reads of
+    engine state (the memory plans are side-effect free until their
+    hooks or ``commit`` run), so a prep can be abandoned, and the fleet
+    executor can collect several before executing any. ``attention`` is
+    the one term a caller may supply pre-computed (the fleet-stacked
+    series evaluation); everything else is per-stretch constants.
+    """
+
+    __slots__ = (
+        "engine",
+        "plan",
+        "batch",
+        "horizon",
+        "stop_time",
+        "start",
+        "total_tokens",
+        "batch_size",
+        "linear",
+        "kernel",
+        "shard",
+        "resolved_block",
+        "cpu",
+        "per_seq",
+        "overhead",
+        "has_hooks",
+        "oracle",
+    )
+
+
+class StretchOracle:
+    """Closed-form ``run_until`` replay over one prepared stretch.
+
+    Answers — without touching the engine — how many stretch iterations
+    ``engine.run_until(t)`` would execute, for any ``t`` strictly below
+    :attr:`valid_until`. Built from a pure :class:`_StretchPrep`, it
+    reproduces the executor's iteration-start series bit for bit (same
+    expressions, same association), so the count is exactly
+    ``run_until``'s: an iteration runs iff it *starts* strictly before
+    ``t``. The cluster's analytic router-state replay sits on top:
+    outstanding tokens during a steady stretch are the build-time
+    backlog minus ``batch_size`` per counted iteration, and the
+    replica's radix tree is provably frozen inside the validity span
+    (pure decode completes no prefill and retires nothing), so cache
+    probes against the live tree are snapshot probes.
+
+    Validity is capped at the earliest instant the closed form could go
+    stale:
+
+    * the first iteration whose memory-plan hooks are not provably
+      no-ops (a hook's mutations could end the stretch early);
+    * the stretch's final iteration (completion commits state, may
+      retire finished requests, and retirement mutates the radix tree);
+    * the prepared ``stop_time`` (past it the engine would ingest an
+      arrival or re-plan).
+
+    Callers must test strictly ``t < valid_until``; at or past the
+    boundary they fall back to a real ``run_until`` sweep, which is
+    always exact.
+    """
+
+    __slots__ = ("batch_size", "valid_until", "_starts")
+
+    def __init__(self, batch_size: int, valid_until: float, starts) -> None:
+        self.batch_size = batch_size
+        self.valid_until = valid_until
+        self._starts = starts
+
+    @classmethod
+    def build(cls, prep: _StretchPrep) -> Optional["StretchOracle"]:
+        """The oracle for ``prep``, or ``None`` if no iteration is
+        provably predictable (hooks fire immediately)."""
+        cached = prep.oracle
+        if cached is not None:
+            # The starts series and its quiescence edge depend only on
+            # the prep's deadline-independent fields; a memoized prep
+            # (same engine state) re-binds them to the fresh stop_time.
+            if cached is False:
+                return None
+            starts, edge = cached
+            return cls(prep.batch_size, min(edge, prep.stop_time), starts)
+        plan = prep.plan
+        horizon = prep.horizon
+        quiet = (
+            plan.quiescent_until(0, horizon) if prep.has_hooks else horizon
+        )
+        cap = min(quiet, horizon - 1)
+        if cap < 1:
+            prep.oracle = False
+            return None
+        if _np is not None:
+            totals = prep.total_tokens + prep.batch_size * _np.arange(
+                cap, dtype=_np.int64
+            )
+            attention = prep.kernel._decode_time_total_series(
+                prep.shard, totals, prep.batch_size, prep.resolved_block
+            )
+            if prep.overhead is not None:
+                fw = prep.overhead
+            else:
+                fw = _np.array(
+                    [plan.overhead_at(i) for i in range(cap)],
+                    dtype=_np.float64,
+                )
+            # The executor's expression and association, elementwise.
+            compute = prep.linear + attention + fw + prep.cpu + prep.per_seq
+            starts = _np.cumsum(_np.concatenate(((prep.start,), compute)))
+            edge = float(starts[cap])
+        else:
+            decode_fn = prep.kernel._decode_time_total
+            now = prep.start
+            total = prep.total_tokens
+            starts = [now]
+            for i in range(cap):
+                attention = decode_fn(
+                    prep.shard, total, prep.batch_size, prep.resolved_block
+                )
+                fw = (
+                    prep.overhead
+                    if prep.overhead is not None
+                    else plan.overhead_at(i)
+                )
+                now = now + (
+                    prep.linear + attention + fw + prep.cpu + prep.per_seq
+                )
+                starts.append(now)
+                total += prep.batch_size
+            edge = starts[cap]
+        prep.oracle = (starts, edge)
+        return cls(prep.batch_size, min(edge, prep.stop_time), starts)
+
+    def iterations_before(self, time: float) -> int:
+        """Iterations ``run_until(time)`` would execute (requires
+        ``time < valid_until``)."""
+        starts = self._starts
+        if isinstance(starts, list):
+            return bisect.bisect_left(starts, time)
+        return int(_np.searchsorted(starts, time, side="left"))
+
+
 class DecodeFastForwarder:
     """Executes analytic decode stretches for one engine."""
 
     def __init__(self, engine: "LLMEngine") -> None:
         self.engine = engine
+        #: Last staged-but-unexecuted prep, memoized against the state
+        #: pair (clock value, ``engine._prep_version``). Stretch proofs
+        #: are pure functions of engine state, so while neither moves
+        #: the prep is exactly what :meth:`prepare` would rebuild —
+        #: only the deadline-dependent ``stop_time`` is recomputed. The
+        #: cluster's analytic router replay restages the same stretch
+        #: many times per arrival window (view rebuilds, then the fleet
+        #: sweep), which this turns into O(1) lookups.
+        self._memo: Optional[_StretchPrep] = None
+        self._memo_version = -1
+        #: State pair at which :meth:`prepare` last proved *no* stretch.
+        #: ``None`` results are deadline-independent (the deadline only
+        #: shapes ``stop_time``, never the proof), so while the state
+        #: pair holds, re-proving is pointless — the cluster replay
+        #: queries an unprovable (opaque) replica once per arrival.
+        self._memo_none = (-1, -1.0)
 
     # ------------------------------------------------------------------
     def execute(
@@ -145,10 +323,44 @@ class DecodeFastForwarder:
         ``deadline`` and the next pending arrival bound it dynamically —
         an iteration only runs if it *starts* strictly before both.
         """
+        prep = self.prepare(deadline, budget)
+        if prep is None:
+            return 0
+        return self.finish(prep)
+
+    def prepare(
+        self, deadline: float, budget: Optional[int] = None
+    ) -> Optional[_StretchPrep]:
+        """Prove and stage a steady stretch without executing it.
+
+        Pure: no engine, clock or backend state changes. ``None`` means
+        no stretch is provable and the caller must fall back to the
+        per-iteration path (or an ordinary ``run_until``).
+        """
         engine = self.engine
+        memo = self._memo
+        if (
+            budget is None
+            and memo is not None
+            and self._memo_version == engine._prep_version
+            and memo.start == engine.clock.now
+        ):
+            stop_time = deadline
+            if engine._pending and (
+                memo.batch_size < engine.config.max_batch_size
+                or engine.telemetry is not None
+            ):
+                first_arrival = engine._pending[0].arrival_time
+                if first_arrival < stop_time:
+                    stop_time = first_arrival
+            memo.stop_time = stop_time
+            return memo
+        state = (engine._prep_version, engine.clock.now)
+        if budget is None and self._memo_none == state:
+            return None
         batch: List["Request"] = list(engine._running)
         if not batch:
-            return 0
+            return self._prove_failed(budget, state)
         config = engine.config
         shard = config.shard
 
@@ -168,18 +380,28 @@ class DecodeFastForwarder:
         if budget is not None and budget < horizon:
             horizon = budget
         if horizon < 2:
-            return 0
+            return self._prove_failed(budget, state)
         # --- Bound (1): the memory backend's steady-state promise.
         plan = engine.memory.decode_fast_path(batch)
         if plan is None:
-            return 0
+            return self._prove_failed(budget, state)
         if plan.horizon < horizon:
             horizon = plan.horizon
         if horizon < 2:
-            return 0
+            return self._prove_failed(budget, state)
         # --- Bound (4): next arrival / caller deadline, checked live.
+        # A *full* batch renders pending arrivals inert: no policy can
+        # observe the queues through plan_iteration's view, admission
+        # is capacity-gated, and a queued-but-unadmitted request holds
+        # no memory — so until a completion frees a slot (bound 3 ends
+        # the stretch there first), the ingestion instant changes no
+        # float. Only telemetry could see the difference (queue-entry
+        # events), so an instrumented engine keeps the arrival bound.
         stop_time = deadline
-        if engine._pending:
+        if engine._pending and (
+            len(batch) < config.max_batch_size
+            or engine.telemetry is not None
+        ):
             first_arrival = engine._pending[0].arrival_time
             if first_arrival < stop_time:
                 stop_time = first_arrival
@@ -187,37 +409,83 @@ class DecodeFastForwarder:
         # Constant terms of the iteration-latency expression, produced
         # by the same calls (and therefore the same floats) as
         # LLMEngine._run_decode.
-        batch_size = len(batch)
-        linear = linear_decode_time(shard, config.gpu, batch_size)
+        prep = _StretchPrep()
+        prep.engine = engine
+        prep.plan = plan
+        prep.batch = batch
+        prep.horizon = horizon
+        prep.stop_time = stop_time
+        prep.batch_size = len(batch)
+        prep.shard = shard
+        prep.linear = linear_decode_time(shard, config.gpu, prep.batch_size)
         kernel = engine.decode_kernel
+        prep.kernel = kernel
         # Resolve the block size and bind the library implementation
         # once per stretch; decode_time_total would re-validate both on
         # every iteration.
-        resolved_block = kernel.validate_block_size(
+        prep.resolved_block = kernel.validate_block_size(
             engine._block_size_for(kernel)
         )
-        decode_fn = kernel._decode_time_total
-        cpu = config.iteration_cpu_overhead
-        per_seq = config.per_seq_cpu_overhead * batch_size
-        overhead = plan.per_iteration_overhead
-        has_hooks = plan.has_hooks
-
-        clock = engine.clock
-        start = clock.now
+        prep.cpu = config.iteration_cpu_overhead
+        prep.per_seq = config.per_seq_cpu_overhead * prep.batch_size
+        prep.overhead = plan.per_iteration_overhead
+        prep.has_hooks = plan.has_hooks
+        prep.start = engine.clock.now
         total_tokens = 0
         for request in batch:
             total_tokens += request.context_len
+        prep.total_tokens = total_tokens
+        prep.oracle = None
+        if budget is None:
+            self._memo = prep
+            self._memo_version = engine._prep_version
+        return prep
 
-        if _np is not None and horizon >= VECTOR_THRESHOLD:
+    def _prove_failed(self, budget: Optional[int], state) -> None:
+        """Record an unbudgeted proof failure against the state pair."""
+        if budget is None:
+            self._memo_none = state
+        return None
+
+    def finish(self, prep: _StretchPrep, attention=None) -> int:
+        """Execute a prepared stretch and land its state.
+
+        ``attention`` — when supplied by the fleet executor — is this
+        stretch's attention-series slice of a stacked evaluation, whose
+        elements are bit-identical to the per-stretch call below.
+        """
+        engine = self.engine
+        plan = prep.plan
+        batch = prep.batch
+        horizon = prep.horizon
+        stop_time = prep.stop_time
+        batch_size = prep.batch_size
+        shard = prep.shard
+        linear = prep.linear
+        kernel = prep.kernel
+        resolved_block = prep.resolved_block
+        decode_fn = kernel._decode_time_total
+        cpu = prep.cpu
+        per_seq = prep.per_seq
+        overhead = prep.overhead
+        has_hooks = prep.has_hooks
+        clock = engine.clock
+        start = prep.start
+        total_tokens = prep.total_tokens
+
+        if _np is not None and (
+            attention is not None or horizon >= VECTOR_THRESHOLD
+        ):
             # Vectorized executor: the whole stretch's float series in a
             # handful of array ops, bit-identical to the scalar loop
             # below (see the inline notes on association).
-            totals = total_tokens + batch_size * _np.arange(
-                horizon, dtype=_np.int64
-            )
-            attention = kernel._decode_time_total_series(
-                shard, totals, batch_size, resolved_block
-            )
+            if attention is None:
+                totals = total_tokens + batch_size * _np.arange(
+                    horizon, dtype=_np.int64
+                )
+                attention = kernel._decode_time_total_series(
+                    shard, totals, batch_size, resolved_block
+                )
             if overhead is not None:
                 fw = overhead
             else:
@@ -235,11 +503,24 @@ class DecodeFastForwarder:
             # Iteration i runs iff it *starts* strictly before stop_time.
             n = int(_np.searchsorted(acc[:horizon], stop_time, side="left"))
             if has_hooks:
+                # Hooked plans observe every iteration — but a plan can
+                # prove spans of iterations whose hooks would do nothing
+                # and return True, and a provable no-op changes no state
+                # the next hook decision reads, so skipping the calls is
+                # exact. At fleet scale this turns the per-iteration
+                # Python loop into a handful of span jumps.
                 executed = 0
-                for i in range(n):
+                i = 0
+                while i < n:
+                    j = plan.quiescent_until(i, n)
+                    if j > i:
+                        executed = j
+                        i = j
+                        continue
                     executed = i + 1
                     if not plan.on_iteration(i, float(compute[i])):
                         break
+                    i += 1
             else:
                 executed = n
             if executed == 0:
@@ -292,6 +573,9 @@ class DecodeFastForwarder:
         clock.jump_to(now)
         for request in batch:
             request.generated += executed
+        # The completion bound kept every member's remaining budget at
+        # or above the horizon, so each owes exactly ``executed`` fewer.
+        engine._outstanding -= executed * batch_size
         plan.commit(executed, last_step_now)
         record = IterationRecord(
             start_time=start,
@@ -317,3 +601,100 @@ class DecodeFastForwarder:
             engine.telemetry.on_iteration(engine, record)
         engine._retire_finished()
         return executed
+
+
+class FleetStretchExecutor:
+    """Cross-replica stretch execution: one batched series per fleet pass.
+
+    The cluster fast loop sweeps every event-source replica to the joint
+    horizon. Replica engines are independent between cluster events, so
+    *when several of them are simultaneously in provably-steady decode
+    stretches*, their attention-series evaluations — elementwise float
+    functions of each stretch's totals sequence — can be stacked into
+    one numpy call and split back, each element bit-identical to the
+    per-replica evaluation (same expression, same scalar operands, one
+    IEEE-754 op per element either way). Everything order-sensitive
+    (per-replica cumsum, hooks, commits) still runs per replica in the
+    identical association the scalar path uses.
+
+    Stretches are grouped by the tuple that parameterizes the series
+    expression — kernel implementation, GPU, shard, batch size, block
+    size — because e.g. FlashInfer's paged decode factor is a
+    batch-size-dependent scalar: mixing batch sizes would change the
+    expression, not just the operands. Below ``volume_threshold``
+    summed iterations (or with a single stretch) the per-replica path
+    runs unchanged: stacking would cost more than it saves.
+    """
+
+    def __init__(self, volume_threshold: int = FLEET_VOLUME_THRESHOLD) -> None:
+        self.volume_threshold = volume_threshold
+
+    def sweep(self, engines: Sequence["LLMEngine"], horizon: float) -> None:
+        """Advance every engine to ``horizon`` (``run_until`` semantics).
+
+        Equivalent to ``for e in engines: e.run_until(horizon)`` — the
+        engines are independent over the window, so interleaving their
+        stretches cannot change any engine's own sequence of states.
+        """
+        active = [engine for engine in engines if engine.has_work()]
+        while active:
+            preps: List[_StretchPrep] = []
+            for engine in active:
+                prep = engine.begin_steady_stretch(horizon)
+                if prep is None:
+                    # Not at a provable steady stretch (prefill pending,
+                    # idle gap, arrival imminent, ...): cross the rest
+                    # of the window through the ordinary serve loop.
+                    engine.run_until(horizon)
+                else:
+                    preps.append(prep)
+            if not preps:
+                break
+            self._finish_batch(preps)
+            active = [
+                prep.engine for prep in preps if prep.engine.has_work()
+            ]
+
+    def _finish_batch(self, preps: List[_StretchPrep]) -> None:
+        if (
+            _np is None
+            or len(preps) < 2
+            or sum(prep.horizon for prep in preps) < self.volume_threshold
+        ):
+            for prep in preps:
+                prep.engine._fast.finish(prep)
+            return
+        groups: Dict[tuple, List[_StretchPrep]] = {}
+        for prep in preps:
+            key = (
+                type(prep.kernel),
+                prep.kernel.gpu,
+                prep.shard,
+                prep.batch_size,
+                prep.resolved_block,
+            )
+            groups.setdefault(key, []).append(prep)
+        for group in groups.values():
+            if len(group) == 1:
+                prep = group[0]
+                prep.engine._fast.finish(prep)
+                continue
+            # Per-stretch totals sequences, stacked. Each element of the
+            # stacked evaluation is the identical IEEE op sequence the
+            # per-stretch call performs on that element, so the split
+            # slices are bit-identical to per-replica evaluations.
+            totals = _np.concatenate(
+                [
+                    prep.total_tokens
+                    + prep.batch_size
+                    * _np.arange(prep.horizon, dtype=_np.int64)
+                    for prep in group
+                ]
+            )
+            lead = group[0]
+            attention = lead.kernel._decode_time_total_series(
+                lead.shard, totals, lead.batch_size, lead.resolved_block
+            )
+            bounds = _np.cumsum([prep.horizon for prep in group])[:-1]
+            for prep, series in zip(group, _np.split(attention, bounds)):
+                prep.engine._fast.finish(prep, attention=series)

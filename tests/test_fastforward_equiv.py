@@ -17,6 +17,7 @@ Two layers of enforcement:
   still run to prove the pin holds.
 """
 
+import dataclasses
 import json
 
 import pytest
@@ -24,6 +25,7 @@ import pytest
 import fcfs_golden
 import repro.serving.engine as engine_module
 from repro.cluster.autoscaler import AUTOSCALER_POLICIES
+from repro.cluster.engine import ClusterEngine
 from repro.cluster.router import policy_names
 from repro.experiments import (
     ext_autoscale,
@@ -178,6 +180,33 @@ def _autoscale_case(fleet):
     return case
 
 
+def _windowed_case(fleet, policy):
+    """An elastic fleet routed by ``policy`` instead of the autoscale
+    experiment's baked-in ``least_outstanding_tokens``.
+
+    These are the arrival-window fast paths under scale lifecycle:
+    state-aware policies route whole windows against persistent
+    analytic replica views that must survive (or be correctly replaced
+    across) scale-ups, drains, and SCALE_DECIDE window splits."""
+
+    def case():
+        base = ext_autoscale.build_fleet(fleet).config
+        cluster = ClusterEngine(
+            dataclasses.replace(base, routing_policy=policy)
+        )
+        cluster.submit(
+            ext_cluster_router.cluster_trace(
+                count=160,
+                sharing_factor=4,
+                prefix_tokens=ext_autoscale.PREFIX_TOKENS,
+                qps=4.0,
+            )
+        )
+        return cluster.run()
+
+    return case
+
+
 CLUSTER_SWEEP = {
     **{
         f"router:{policy}": _router_case(policy) for policy in policy_names()
@@ -187,6 +216,11 @@ CLUSTER_SWEEP = {
     "autoscale:static_min": _autoscale_case("static_min"),
     "autoscale:queue_depth": _autoscale_case("queue_depth"),
     "autoscale:sla": _autoscale_case("sla"),
+    **{
+        f"windowed:{fleet}:{policy}": _windowed_case(fleet, policy)
+        for fleet in ("queue_depth", "sla")
+        for policy in ("round_robin", "cache_aware")
+    },
 }
 
 
@@ -234,6 +268,30 @@ class TestClusterSweep:
             if name.startswith("router:")
         }
         assert swept == set(policy_names())
+
+    def test_covers_router_by_autoscaler_matrix(self):
+        """Every routing policy runs under every autoscaler policy
+        somewhere in the sweep: router:* pins static fleets, the
+        autoscale:* shapes pin ``least_outstanding_tokens`` under each
+        elastic autoscaler, and windowed:* fills in the remaining
+        elastic x policy cells."""
+        covered = set()
+        for policy in policy_names():
+            covered.add(("static", policy))  # router:<policy>
+        for fleet in ("static_min", "queue_depth", "sla"):
+            autoscaler = ext_autoscale.FLEETS[fleet][0]
+            covered.add((autoscaler, "least_outstanding_tokens"))
+        for name in CLUSTER_SWEEP:
+            if not name.startswith("windowed:"):
+                continue
+            _, fleet, policy = name.split(":")
+            covered.add((ext_autoscale.FLEETS[fleet][0], policy))
+        wanted = {
+            (autoscaler, policy)
+            for autoscaler in AUTOSCALER_POLICIES
+            for policy in policy_names()
+        }
+        assert wanted <= covered
 
     def test_covers_every_autoscaler_policy(self):
         swept = {

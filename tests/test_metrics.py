@@ -1,6 +1,7 @@
 """Statistics helpers and the metrics collector."""
 
 import json
+import random
 
 import pytest
 
@@ -306,6 +307,44 @@ class TestRollingWindow:
             RollingPercentileTracker(window_seconds=0.0)
         with pytest.raises(ConfigError):
             RollingPercentileTracker(window_seconds=-1.0)
+
+    def test_randomized_equivalence_with_naive_reference(self):
+        # The tracker maintains a bisect-sorted companion list; its
+        # answers must be bit-identical to pruning the raw sample list
+        # and calling stats.percentile / a counting loop on every query.
+        # Duplicated values and duplicated timestamps are exercised on
+        # purpose — both stress the leftmost-equal removal in prune().
+        rng = random.Random(0xC0FFEE)
+        for window in (5.0, 17.0, None):
+            tracker = RollingPercentileTracker(window_seconds=window)
+            naive: list = []  # (time, value), never pruned
+            now = 0.0
+            query_now = 0.0  # pruning is destructive, so queries advance
+            for _ in range(400):
+                now += rng.choice((0.0, 0.0, rng.expovariate(1.0)))
+                value = rng.choice(
+                    (rng.uniform(0.0, 10.0), round(rng.uniform(0.0, 10.0)))
+                )
+                tracker.observe(now, value)
+                naive.append((now, value))
+                query_now = max(query_now, now + rng.uniform(0.0, 3.0))
+                if window is None:
+                    in_window = [v for _, v in naive]
+                else:
+                    horizon = query_now - window
+                    in_window = [v for t, v in naive if t >= horizon]
+                q = rng.uniform(0.0, 100.0)
+                threshold = rng.uniform(0.0, 10.0)
+                assert tracker.percentile(q, now=query_now) == percentile(
+                    in_window, q
+                )
+                assert tracker.attainment(
+                    threshold, now=query_now
+                ) == sum(1 for v in in_window if v <= threshold) / len(
+                    in_window
+                )
+                assert tracker.values() == in_window
+                assert sorted(in_window) == tracker._sorted
 
 
 class TestRunReportToJson:
