@@ -172,6 +172,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "extension: swap vs recompute",
         "S5.3.3", "benchmarks/bench_ext_swap.py",
     ),
+    "ext-kv-tiering": Experiment(
+        "ext_kv_tiering",
+        "extension: hierarchical GPU->CPU KV tiering",
+        "S5.3.3, beyond the paper", "benchmarks/bench_ext_kv_tiering.py",
+    ),
     "ext-uvm": Experiment(
         "ext_uvm_limitations",
         "extension: unified-memory strawman",

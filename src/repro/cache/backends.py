@@ -1,0 +1,334 @@
+"""Cache↔backend adapters: what the radix cache needs from an allocator.
+
+The radix tree indexes token ids against opaque integer *slots*; turning
+a matched prefix into resident KV is backend mechanics. This module
+isolates those mechanics behind :class:`CacheBackendAdapter` so
+:class:`~repro.cache.manager.PrefixCacheManager` works over any backend
+that can physically share KV:
+
+* :class:`VattentionCacheAdapter` — the original route: slots are
+  vAttention reqIds; sharing aliases physical page-group rows at
+  multiple virtual offsets through CUDA VMM (zero-copy full rows, a
+  copy-on-write partial tail). Token-granular.
+* :class:`PagedCacheAdapter` — vLLM-style sharing over the user-space
+  block pool: slots map to :class:`~repro.paged.block_manager.
+  BlockManager` allocations, and sharing splices the source's *full*
+  blocks into the destination's block list under per-block reference
+  counts (the partial tail block stays private and is recomputed).
+  Block-granular: matches, hits and retention all floor to full
+  blocks, so probes stay symmetric with what a hit delivers.
+
+UVM and static slots cannot share KV (no aliasing, no indirection), so
+they have no adapter — ``EngineConfig`` rejects the combination.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..serving.memory import MemoryBackend, PagedMemory, VAttentionMemory
+from ..serving.request import Request
+from .radix import PrefixEntry
+
+
+@dataclass(frozen=True)
+class CacheShare:
+    """Normalized outcome of one prefix-sharing operation."""
+
+    #: Prompt tokens the destination received resident KV for.
+    prefix_tokens: int
+    #: Backend units (page-group rows / blocks) shared zero-copy.
+    shared_units: int
+    #: Tokens physically copied (vAttention's copy-on-write tail).
+    copied_tokens: int
+    #: Physical bytes the share saved versus re-computing privately.
+    saved_bytes: int
+    #: Critical-path seconds of the mapping/copy work.
+    latency_seconds: float
+
+
+class CacheBackendAdapter(abc.ABC):
+    """Backend mechanics behind the backend-agnostic prefix cache."""
+
+    @property
+    @abc.abstractmethod
+    def clock(self):
+        """The backend's simulated clock (LRU timestamps)."""
+
+    @property
+    @abc.abstractmethod
+    def max_context(self) -> int:
+        """The model shard's context limit (oversize admission check)."""
+
+    @property
+    @abc.abstractmethod
+    def unit_bytes(self) -> int:
+        """Bytes of one sharing unit (page-group row / block)."""
+
+    @property
+    @abc.abstractmethod
+    def dedup_saved_bytes(self) -> int:
+        """Physical bytes currently deduplicated by sharing."""
+
+    @abc.abstractmethod
+    def has_free_slot(self) -> bool:
+        """Whether an admission can obtain a slot without an eviction."""
+
+    @abc.abstractmethod
+    def entry_units(self, entry: PrefixEntry) -> int:
+        """Sharing units currently held under ``entry``'s slot."""
+
+    @abc.abstractmethod
+    def backed_prefix(self, entry: PrefixEntry, matched: int) -> int:
+        """Clamp a tree match to the tokens ``entry`` physically backs
+        *and* this backend can deliver (block floors, reclaimed rows).
+        Probes and hits go through the same clamp, keeping routing and
+        chunk-budget estimates symmetric with actual hit sizes."""
+
+    @abc.abstractmethod
+    def already_backed(self, request: Request) -> bool:
+        """Whether ``request``'s prompt memory was already backed, which
+        forecloses sharing (vAttention cannot alias over written rows;
+        the block pool can always swap pointers, so always False)."""
+
+    @abc.abstractmethod
+    def share(
+        self, entry: PrefixEntry, request: Request, matched: int
+    ) -> CacheShare:
+        """Make ``matched`` prefix tokens of ``entry`` resident in
+        ``request``'s allocation."""
+
+    def after_share(self, request: Request) -> None:
+        """Post-share bookkeeping (vAttention's admission promise)."""
+
+    @abc.abstractmethod
+    def live_slot(self, request: Request) -> int:
+        """The slot id a live entry for ``request`` registers under."""
+
+    def bind_slot(self, entry: PrefixEntry, request: Request) -> None:
+        """Associate a successfully inserted live entry with its
+        request's allocation (paged key bookkeeping)."""
+
+    def unbind_live(self, entry: PrefixEntry) -> None:
+        """Forget a live entry whose owner is releasing its memory
+        through the normal backend path."""
+
+    @abc.abstractmethod
+    def retainable_tokens(self, tokens: int) -> int:
+        """How many of a finished prompt's ``tokens`` the cache can
+        retain in shareable form (blocks floor; rows keep all)."""
+
+    @abc.abstractmethod
+    def detach_to_cache(
+        self, request: Request, entry: PrefixEntry, keep_tokens: int
+    ) -> None:
+        """Take ownership of the finished ``request``'s prompt KV for
+        ``entry``, trimmed to ``keep_tokens``."""
+
+    @abc.abstractmethod
+    def free_entry(self, entry: PrefixEntry) -> None:
+        """Release a cache-owned entry's memory back to the pool."""
+
+
+# ----------------------------------------------------------------------
+class VattentionCacheAdapter(CacheBackendAdapter):
+    """Row-aliasing mechanics over :class:`VAttentionMemory`."""
+
+    def __init__(self, inner: VAttentionMemory) -> None:
+        self.inner = inner
+        self.manager = inner.manager
+
+    @property
+    def clock(self):
+        return self.manager.clock
+
+    @property
+    def max_context(self) -> int:
+        return self.manager.config.shard.max_context
+
+    @property
+    def unit_bytes(self) -> int:
+        return self.manager.config.row_bytes
+
+    @property
+    def dedup_saved_bytes(self) -> int:
+        return self.manager.dedup_saved_bytes
+
+    def has_free_slot(self) -> bool:
+        return self.manager.has_free_reqid()
+
+    def entry_units(self, entry: PrefixEntry) -> int:
+        return self.manager.slots[entry.slot].mapped_rows
+
+    def backed_prefix(self, entry: PrefixEntry, matched: int) -> int:
+        # Clamp to what the source slot physically backs — under severe
+        # pressure the allocator may have reclaimed rows from a slot
+        # faster than its bookkeeping caught up (it re-backs lazily),
+        # and aliasing must never hand out unbacked tokens.
+        source = self.manager.slots[entry.slot]
+        return max(
+            0,
+            min(
+                matched,
+                source.context_len,
+                source.mapped_rows * self.manager.config.tokens_per_page_group,
+            ),
+        )
+
+    def already_backed(self, request: Request) -> bool:
+        # The prompt was already backed (a mixed iteration prepared it
+        # after a cache miss); aliasing over written KV is no longer
+        # possible.
+        return bool(self.manager.slots[request.memory_handle].context_len)
+
+    def share(
+        self, entry: PrefixEntry, request: Request, matched: int
+    ) -> CacheShare:
+        result = self.manager.share_prefix(
+            entry.slot, request.memory_handle, matched
+        )
+        return CacheShare(
+            prefix_tokens=result.prefix_tokens,
+            shared_units=result.shared_rows,
+            copied_tokens=result.copied_tokens,
+            saved_bytes=result.saved_bytes,
+            latency_seconds=result.latency_seconds,
+        )
+
+    def after_share(self, request: Request) -> None:
+        # The aliased rows shrink the request's outstanding promise.
+        self.inner.refresh_promise(request)
+
+    def live_slot(self, request: Request) -> int:
+        return request.memory_handle
+
+    def retainable_tokens(self, tokens: int) -> int:
+        return tokens  # rows alias at token granularity
+
+    def detach_to_cache(
+        self, request: Request, entry: PrefixEntry, keep_tokens: int
+    ) -> None:
+        handle = self.inner.detach(request)
+        if handle != entry.slot:  # pragma: no cover - defensive
+            raise SchedulingError(
+                f"{request.request_id}: slot {handle} does not match "
+                f"cache entry slot {entry.slot}"
+            )
+        # Retain only the shareable prompt rows, not the decode tail.
+        self.manager.trim_slot(handle, keep_tokens)
+
+    def free_entry(self, entry: PrefixEntry) -> None:
+        # free_reqid leaves the rows on the now-inactive slot (deferred
+        # reclamation), where the allocator can reclaim them on demand —
+        # or unmaps immediately if any row is still aliased elsewhere.
+        self.manager.free_reqid(entry.slot)
+
+
+# ----------------------------------------------------------------------
+class PagedCacheAdapter(CacheBackendAdapter):
+    """Full-block sharing mechanics over :class:`PagedMemory`.
+
+    Slots are adapter-issued integers mapped to
+    :class:`~repro.paged.block_manager.BlockManager` allocation keys: a
+    live entry's key is its owner's request id; retention re-keys the
+    allocation under a cache-owned name via
+    :meth:`~repro.paged.block_manager.BlockManager.transfer`.
+    """
+
+    def __init__(self, inner: PagedMemory) -> None:
+        self.inner = inner
+        self.blocks = inner.blocks
+        self._keys: dict = {}  # slot id -> BlockManager allocation key
+        self._next_slot = 0
+
+    @property
+    def clock(self):
+        return self.inner.device.clock
+
+    @property
+    def max_context(self) -> int:
+        return self.blocks.shard.max_context
+
+    @property
+    def unit_bytes(self) -> int:
+        return self.blocks.block_bytes
+
+    @property
+    def dedup_saved_bytes(self) -> int:
+        return self.blocks.dedup_saved_bytes
+
+    def has_free_slot(self) -> bool:
+        return True  # block allocations need no reqIds
+
+    def entry_units(self, entry: PrefixEntry) -> int:
+        return self.blocks.allocation(self._keys[entry.slot]).num_blocks
+
+    def backed_prefix(self, entry: PrefixEntry, matched: int) -> int:
+        # Only whole, fully-written blocks are shareable; the floor
+        # keeps probe estimates equal to what a hit will deliver.
+        backed = min(
+            matched,
+            self.blocks.allocation(self._keys[entry.slot]).context_len,
+        )
+        return max(0, backed - backed % self.blocks.block_size)
+
+    def already_backed(self, request: Request) -> bool:
+        # Pointer splicing works over allocated-but-unwritten blocks,
+        # so a prompt backed by an earlier mixed iteration can still
+        # take a hit: the displaced private blocks are simply released.
+        return False
+
+    def share(
+        self, entry: PrefixEntry, request: Request, matched: int
+    ) -> CacheShare:
+        n_blocks = matched // self.blocks.block_size
+        saved = self.blocks.share_blocks(
+            self._keys[entry.slot], request.request_id, n_blocks
+        )
+        return CacheShare(
+            prefix_tokens=n_blocks * self.blocks.block_size,
+            shared_units=n_blocks,
+            copied_tokens=0,  # the partial tail is recomputed, not copied
+            saved_bytes=saved,
+            latency_seconds=0.0,  # a user-space pointer splice
+        )
+
+    def live_slot(self, request: Request) -> int:
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def bind_slot(self, entry: PrefixEntry, request: Request) -> None:
+        self._keys[entry.slot] = request.request_id
+
+    def unbind_live(self, entry: PrefixEntry) -> None:
+        self._keys.pop(entry.slot, None)
+
+    def retainable_tokens(self, tokens: int) -> int:
+        return tokens - tokens % self.blocks.block_size
+
+    def detach_to_cache(
+        self, request: Request, entry: PrefixEntry, keep_tokens: int
+    ) -> None:
+        cache_key = f"prefix-cache/{entry.slot}"
+        self.blocks.transfer(request.request_id, cache_key, keep_tokens)
+        self._keys[entry.slot] = cache_key
+        request.memory_handle = None
+
+    def free_entry(self, entry: PrefixEntry) -> None:
+        key = self._keys.pop(entry.slot)
+        self.blocks.free(key)
+
+
+def make_cache_adapter(inner: MemoryBackend) -> CacheBackendAdapter:
+    """The adapter matching ``inner``'s sharing mechanics."""
+    if isinstance(inner, VAttentionMemory):
+        return VattentionCacheAdapter(inner)
+    if isinstance(inner, PagedMemory):
+        return PagedCacheAdapter(inner)
+    raise SchedulingError(
+        f"{type(inner).__name__} cannot share KV: the prefix cache needs "
+        f"page aliasing (vattention) or a block pool (paged)"
+    )

@@ -1,30 +1,33 @@
-"""Engine-integrated automatic KV prefix reuse over vAttention.
+"""Engine-integrated automatic KV prefix reuse (backend-agnostic).
 
 :class:`PrefixCacheManager` is a :class:`~repro.serving.memory.
-MemoryBackend` that wraps :class:`~repro.serving.memory.
-VAttentionMemory` and adds RadixAttention-style behaviour:
+MemoryBackend` that wraps a sharing-capable allocator and adds
+RadixAttention-style behaviour:
 
 * When a request is about to prefill, its prompt token ids are matched
-  against the radix tree; the longest cached prefix is **aliased** into
-  the request's sub-tensors through the existing
-  :meth:`~repro.core.vattention.VAttention.share_prefix` machinery —
-  full page-group rows are zero-copy aliases, the partial tail row is a
-  copy-on-write copy (:mod:`repro.core.sharing`). The engine then skips
-  the aliased portion's prefill compute.
+  against the radix tree; the longest cached prefix is made resident in
+  the request's allocation through the backend's own sharing mechanics
+  (:mod:`repro.cache.backends`) — vAttention aliases physical
+  page-group rows at multiple virtual offsets (zero-copy rows plus a
+  copy-on-write tail, :mod:`repro.core.sharing`); the Paged backend
+  splices the source's full blocks into the request's block list under
+  per-block reference counts. The engine then skips the shared
+  portion's prefill compute.
 * When a request's prefill completes, its resident prompt KV is
   registered as a *live* entry, so concurrent requests in the same
   batch can reuse it immediately.
-* When a request finishes, its slot is **retained by the cache**
+* When a request finishes, its prompt KV is **retained by the cache**
   instead of freed (the live entry becomes cache-owned), bounded by an
   optional byte budget.
 * Under memory pressure — an admission that does not fit, or a
   ``prepare_iteration`` that would otherwise force a preemption —
   unreferenced cache-owned entries are evicted LRU-first, returning
-  their page-group rows to the pool before the engine resorts to
+  their rows/blocks to the pool before the engine resorts to
   preempting a running request.
 
-The wrapper reserves extra vAttention request slots for cache-owned
-prefixes, so a full cache never starves the running batch of reqIds.
+Over vAttention the wrapper reserves extra request slots for
+cache-owned prefixes, so a full cache never starves the running batch
+of reqIds; block allocations need no such reservation.
 """
 
 from __future__ import annotations
@@ -33,9 +36,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import SchedulingError
-from ..kernels.base import KvLayout
-from ..serving.memory import MemoryBackend, VAttentionMemory
+from ..serving.memory import MemoryBackend
 from ..serving.request import Request
+from .backends import make_cache_adapter
 from .radix import PrefixEntry, RadixTree
 
 
@@ -43,11 +46,12 @@ from .radix import PrefixEntry, RadixTree
 class PrefixCacheStats:
     """Manager-level counters (the tree keeps its own lookup stats)."""
 
-    #: Page-group rows aliased zero-copy across all hits.
+    #: Sharing units (page-group rows / blocks) aliased zero-copy
+    #: across all hits.
     aliased_rows: int = 0
     #: Tokens copied at copy-on-write tails across all hits.
     copied_tokens: int = 0
-    #: Cumulative physical bytes saved by aliasing instead of re-backing.
+    #: Cumulative physical bytes saved by sharing instead of re-backing.
     bytes_saved: int = 0
     #: Critical-path seconds spent on alias mappings and tail copies.
     alias_seconds: float = 0.0
@@ -55,7 +59,7 @@ class PrefixCacheStats:
     retained: int = 0
     #: Cache-owned entries evicted under pressure or budget.
     evictions: int = 0
-    #: Page-group rows released by those evictions.
+    #: Sharing units released by those evictions.
     evicted_rows: int = 0
 
 
@@ -71,7 +75,7 @@ class PrefixCacheReport:
     aliased_rows: int
     copied_tokens: int
     bytes_saved: int
-    #: Physical bytes currently deduplicated by row aliasing.
+    #: Physical bytes currently deduplicated by sharing.
     dedup_bytes_now: int
     insertions: int
     retained: int
@@ -84,17 +88,17 @@ class PrefixCacheReport:
 
 
 class PrefixCacheManager(MemoryBackend):
-    """Radix-tree prefix cache between the engine and vAttention."""
-
-    layout = KvLayout.CONTIGUOUS
+    """Radix-tree prefix cache between the engine and a backend."""
 
     def __init__(
         self,
-        inner: VAttentionMemory,
+        inner: MemoryBackend,
         budget_bytes: Optional[int] = None,
     ) -> None:
         self.inner = inner
+        self.layout = inner.layout
         self.budget_bytes = budget_bytes
+        self.adapter = make_cache_adapter(inner)
         self.tree = RadixTree()
         self.stats = PrefixCacheStats()
         #: request_id -> entry it borrowed a prefix from (ref-counted).
@@ -106,38 +110,34 @@ class PrefixCacheManager(MemoryBackend):
     # Derived state
     # ------------------------------------------------------------------
     @property
-    def _vat(self):
-        return self.inner.manager
-
-    @property
     def manager(self):
         """The underlying :class:`~repro.core.vattention.VAttention`.
 
         Exposed so introspection written against the plain vattention
         backend (``engine.memory.manager``) keeps working with the
-        cache wrapper in place.
+        cache wrapper in place. Raises for backends without one.
         """
         return self.inner.manager
 
     @property
     def clock(self):
-        return self._vat.clock
+        return self.adapter.clock
 
     def _entry_rows(self, entry: PrefixEntry) -> int:
-        return self._vat.slots[entry.slot].mapped_rows
+        return self.adapter.entry_units(entry)
 
     @property
     def cached_bytes(self) -> int:
-        """Bytes mapped into cache-owned (not live) entries' slots.
+        """Bytes held by cache-owned (not live) entries' allocations.
 
-        A row aliased by several cached entries counts once per entry —
+        A unit aliased by several cached entries counts once per entry —
         this is the *mapped* footprint the budget bounds; the physical
-        savings from aliasing are reported separately (``bytes_saved``,
+        savings from sharing are reported separately (``bytes_saved``,
         ``dedup_bytes_now``).
         """
-        row_bytes = self._vat.config.row_bytes
+        unit_bytes = self.adapter.unit_bytes
         return sum(
-            self._entry_rows(e) * row_bytes
+            self._entry_rows(e) * unit_bytes
             for e in self.tree.entries
             if not e.live
         )
@@ -153,7 +153,7 @@ class PrefixCacheManager(MemoryBackend):
             "cache_lookups_total": float(tree.lookups),
             "cache_hits_total": float(tree.hits),
             "cache_evictions_total": float(self.stats.evictions),
-            "shared_prefix_bytes": float(self._vat.dedup_saved_bytes),
+            "shared_prefix_bytes": float(self.adapter.dedup_saved_bytes),
         })
         return sample
 
@@ -171,7 +171,7 @@ class PrefixCacheManager(MemoryBackend):
             aliased_rows=self.stats.aliased_rows,
             copied_tokens=self.stats.copied_tokens,
             bytes_saved=self.stats.bytes_saved,
-            dedup_bytes_now=self._vat.dedup_saved_bytes,
+            dedup_bytes_now=self.adapter.dedup_saved_bytes,
             insertions=tree.insertions,
             retained=self.stats.retained,
             evictions=self.stats.evictions,
@@ -193,33 +193,24 @@ class PrefixCacheManager(MemoryBackend):
         lengths (:meth:`repro.scheduling.base.SchedulingView.
         remaining_prefill_tokens`). ``limit`` should be the same
         ``prompt_len - 1`` cap :meth:`before_prefill` applies, and the
-        result is clamped to what the source slot physically backs, so
-        the estimate matches what an actual hit would deliver.
+        result is clamped to what the source physically backs (and, on
+        block pools, floored to full blocks), so the estimate matches
+        what an actual hit would deliver.
         """
         entry, matched = self.tree.probe(token_ids, limit=limit)
         if entry is None:
             return 0
-        source = self._vat.slots[entry.slot]
-        return max(
-            0,
-            min(
-                matched,
-                source.context_len,
-                source.mapped_rows * self._vat.config.tokens_per_page_group,
-            ),
-        )
+        return self.adapter.backed_prefix(entry, matched)
 
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def _evict_entry(self, victim: PrefixEntry) -> int:
-        """Drop a cache-owned entry and free its slot; returns its rows."""
+        """Drop a cache-owned entry and free its memory; returns its
+        sharing units."""
         rows = self._entry_rows(victim)
         self.tree.evict(victim)
-        # free_reqid leaves the rows on the now-inactive slot (deferred
-        # reclamation), where the allocator can reclaim them on demand —
-        # or unmaps immediately if any row is still aliased elsewhere.
-        self._vat.free_reqid(victim.slot)
+        self.adapter.free_entry(victim)
         self.stats.evictions += 1
         self.stats.evicted_rows += rows
         return rows
@@ -237,29 +228,30 @@ class PrefixCacheManager(MemoryBackend):
             return
         # cached_bytes walks every entry; compute the overshoot once
         # and track it through the evictions instead of re-walking.
-        row_bytes = self._vat.config.row_bytes
+        unit_bytes = self.adapter.unit_bytes
         excess = self.cached_bytes - self.budget_bytes
         while excess > 0:
             victim = self.tree.lru_victim()
             if victim is None:
                 break
-            excess -= self._evict_entry(victim) * row_bytes
+            excess -= self._evict_entry(victim) * unit_bytes
 
     # ------------------------------------------------------------------
     # MemoryBackend interface
     # ------------------------------------------------------------------
     def can_admit(self, request: Request) -> bool:
-        if request.resident_tokens_needed > self._vat.config.shard.max_context:
+        if request.resident_tokens_needed > self.adapter.max_context:
             return False  # eviction can never help an oversized prompt
         # Admission pressure is the cache's cue to shrink: release
-        # reqIds and rows before the engine gives up on the request.
+        # slots and rows/blocks before the engine gives up on the
+        # request.
         while not self.inner.can_admit(request):
             if not self._evict_one():
                 return False
         return True
 
     def admit(self, request: Request) -> None:
-        while not self._vat.has_free_reqid():
+        while not self.adapter.has_free_slot():
             if not self._evict_one():
                 raise SchedulingError(
                     "no free reqId and no evictable cached prefix"
@@ -267,7 +259,7 @@ class PrefixCacheManager(MemoryBackend):
         self.inner.admit(request)
 
     def before_prefill(self, request: Request) -> None:
-        """Alias the longest cached prefix into a request about to
+        """Share the longest cached prefix into a request about to
         prefill (called before the iteration's memory preparation)."""
         if (
             request.prefix is None
@@ -276,10 +268,7 @@ class PrefixCacheManager(MemoryBackend):
             or request.prefilled_tokens > 0
         ):
             return
-        if self._vat.slots[request.memory_handle].context_len:
-            # The prompt was already backed (a mixed iteration prepared
-            # it after a cache miss); aliasing over written KV is no
-            # longer possible.
+        if self.adapter.already_backed(request):
             return
         # Keep at least one prompt token to compute: the prefill
         # iteration must still run to produce the first output token.
@@ -290,30 +279,18 @@ class PrefixCacheManager(MemoryBackend):
         )
         if entry is None:
             return
-        # Clamp to what the source slot physically backs — under severe
-        # pressure the allocator may have reclaimed rows from a slot
-        # faster than its bookkeeping caught up (it re-backs lazily),
-        # and aliasing must never hand out unbacked tokens.
-        source = self._vat.slots[entry.slot]
-        matched = min(
-            matched,
-            source.context_len,
-            source.mapped_rows * self._vat.config.tokens_per_page_group,
-        )
+        matched = self.adapter.backed_prefix(entry, matched)
         if matched <= 0:
             return
-        result = self._vat.share_prefix(
-            entry.slot, request.memory_handle, matched
-        )
+        result = self.adapter.share(entry, request, matched)
         request.apply_cached_prefix(result.prefix_tokens)
         entry.ref_count += 1
         self._sources[request.request_id] = entry
-        self.stats.aliased_rows += result.shared_rows
+        self.stats.aliased_rows += result.shared_units
         self.stats.copied_tokens += result.copied_tokens
         self.stats.bytes_saved += result.saved_bytes
         self.stats.alias_seconds += result.latency_seconds
-        # The aliased rows shrink the request's outstanding promise.
-        self.inner.refresh_promise(request)
+        self.adapter.after_share(request)
 
     def note_prefill_complete(self, request: Request) -> None:
         """Register a just-prefilled request's prompt KV as reusable."""
@@ -323,12 +300,13 @@ class PrefixCacheManager(MemoryBackend):
         # construction, and prompts only grow on preemption).
         entry = self.tree.insert(
             request.prefix.token_ids,
-            slot=request.memory_handle,
+            slot=self.adapter.live_slot(request),
             group=request.prefix.group,
             live=True,
             now=self.clock.now,
         )
         if entry is not None:
+            self.adapter.bind_slot(entry, request)
             self._live[request.request_id] = entry
 
     def prepare_iteration(self, batch) -> bool:
@@ -351,8 +329,10 @@ class PrefixCacheManager(MemoryBackend):
         live = self._live.pop(request.request_id, None)
         if live is not None:
             # The owner's KV is going away; the index must forget it
-            # (physical rows already aliased elsewhere stay refcounted).
+            # (physical units already aliased elsewhere stay refcounted
+            # by the backend).
             self.tree.remove(live)
+            self.adapter.unbind_live(live)
         self.inner.release(request)
 
     def retire(self, request: Request) -> None:
@@ -364,16 +344,18 @@ class PrefixCacheManager(MemoryBackend):
             # already-cached prefix): free normally.
             self.inner.release(request)
             return
+        keep_tokens = self.adapter.retainable_tokens(live.tokens)
+        if keep_tokens <= 0:
+            # The prompt holds no shareable unit (shorter than one
+            # block): nothing worth retaining.
+            self.tree.remove(live)
+            self.adapter.unbind_live(live)
+            self.inner.release(request)
+            return
         live.live = False
         self.tree.touch(live, self.clock.now)
-        handle = self.inner.detach(request)
-        if handle != live.slot:  # pragma: no cover - defensive
-            raise SchedulingError(
-                f"{request.request_id}: slot {handle} does not match "
-                f"cache entry slot {live.slot}"
-            )
-        # Retain only the shareable prompt rows, not the decode tail.
-        self._vat.trim_slot(handle, live.tokens)
+        # Retain only the shareable prompt units, not the decode tail.
+        self.adapter.detach_to_cache(request, live, keep_tokens)
         self.stats.retained += 1
         self._enforce_budget()
 
@@ -381,10 +363,11 @@ class PrefixCacheManager(MemoryBackend):
         self.inner.after_iteration(iteration_seconds)
 
     def decode_fast_path(self, batch):
-        """Delegate to vAttention: a steady decode stretch never touches
-        the cache (no admissions, no prefills, no memory pressure —
-        the inner plan's horizon guarantees ``prepare_iteration`` would
-        succeed outright, so the wrapper's eviction path stays idle)."""
+        """Delegate to the backend: a steady decode stretch never
+        touches the cache (no admissions, no prefills, no memory
+        pressure — the inner plan's horizon guarantees
+        ``prepare_iteration`` would succeed outright, so the wrapper's
+        eviction path stays idle)."""
         return self.inner.decode_fast_path(batch)
 
     def framework_overhead(self, running) -> float:

@@ -1,8 +1,11 @@
 """Radix tree over prompt token ids (the RadixAttention index shape).
 
-Each cached prefix is one :class:`PrefixEntry`: a vAttention request
-slot whose page-group rows hold the KV cache of ``tokens`` prompt
-tokens, registered under the prompt's token ids. The tree is
+Each cached prefix is one :class:`PrefixEntry`: an opaque backend slot
+(a vAttention reqId whose page-group rows hold the KV, or a
+:mod:`repro.cache.backends` handle onto a block allocation) backing
+``tokens`` prompt tokens, registered under the prompt's token ids. The
+tree never interprets slots — backend mechanics live in the adapters —
+so the index works over any sharing-capable allocator. The tree is
 path-compressed (edges carry token runs, split lazily on divergence),
 so lookups cost one comparison per matched token and entries sharing a
 prompt prefix share their path.
@@ -20,8 +23,8 @@ PrefixCacheManager` distinguishes by ownership:
   pressure.
 
 The tree itself is policy-free: it indexes, reference-counts and
-selects LRU victims; mapping/unmapping physical rows is the manager's
-job.
+selects LRU victims; mapping/unmapping physical rows or blocks is the
+manager's (and its backend adapter's) job.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ class PrefixEntry:
     """One cached prefix: a resident slot and the token ids it backs."""
 
     entry_id: int
-    #: vAttention ``reqId`` whose rows hold this prefix's KV cache.
+    #: Opaque backend slot holding this prefix's KV cache (a vAttention
+    #: ``reqId``, or an adapter handle onto a block allocation).
     slot: int
     #: Token ids registered in the tree (``tokens == len(token_ids)``).
     token_ids: Tuple[int, ...]

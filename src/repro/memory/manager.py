@@ -1,0 +1,228 @@
+"""Unified MemoryManager facade: one memory subsystem for the engine.
+
+The engine historically talked to three loosely-coupled pieces — a
+:class:`~repro.serving.memory.MemoryBackend`, the radix prefix cache
+bolted onto the vAttention backend, and a swap space off to the side in
+``serving/swap.py``. This module composes them behind one facade in the
+style of sglang's ``mem_cache_v2``: the engine speaks
+``allocate_request`` / ``allocate_tokens`` / ``cache_finished_request``
+/ ``evict`` / ``tier_transfer`` and the facade routes each verb through
+the backend, the cache, and the hierarchical GPU→CPU KV tier.
+
+Eviction policy lives here (``MemoryConfig.preemption_mode``):
+
+* ``recompute`` — drop the KV; re-admission prefills again (vLLM's
+  default, the paper's behaviour).
+* ``swap`` — the legacy whole-cache policy: ``context_len *
+  kv_bytes_per_token`` moves over PCIe regardless of layout.
+  Byte-identical to the pre-facade engine-inline path.
+* ``tiered`` — cache-aware hierarchical eviction: the transfer is
+  sized at backend granularity (vAttention page-group rows via the
+  manager's own row math — demand-paged restore re-maps exactly those
+  rows; Paged at block granularity — block-sized copy-back), so what
+  moves is what the backend physically holds, not the logical token
+  count. Under pressure this prefers tiering over recompute whenever
+  the victim's prefill is done and the host tier has room.
+
+The facade performs no clock or telemetry operations itself — each verb
+returns a :class:`TierTransfer` describing what moved, and the engine
+charges the seconds to the simulated clock and emits the
+``tier_transfer`` event. That keeps the facade reusable from replay
+tooling and keeps facade-on runs byte-identical to the legacy paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..models.shard import ShardedModel
+from ..serving.memory import MemoryBackend, PagedMemory, VAttentionMemory
+from ..serving.request import Request
+from .tier import CpuKvTier
+
+
+@dataclass(frozen=True)
+class TierTransfer:
+    """Outcome of one facade verb that may have moved KV across tiers.
+
+    ``nbytes == 0`` means nothing moved (a recompute eviction, or an
+    admission with nothing to restore); the engine advances the clock
+    by ``seconds`` and emits a ``tier_transfer`` event only when bytes
+    actually moved.
+    """
+
+    #: "out" (GPU→CPU) or "in" (CPU→GPU).
+    direction: str
+    #: Bytes transferred (0 = no transfer happened).
+    nbytes: int
+    #: PCIe seconds the engine must charge to the simulated clock.
+    seconds: float
+    #: The policy that produced this outcome ("swap" | "tiered" |
+    #: "recompute").
+    mode: str
+
+
+_NO_TRANSFER_OUT = TierTransfer("out", 0, 0.0, "recompute")
+
+
+class MemoryManager(MemoryBackend):
+    """Facade composing a backend, the prefix cache, and the CPU tier.
+
+    The ``backend`` may itself be a
+    :class:`~repro.cache.manager.PrefixCacheManager` wrapping the raw
+    allocator — the facade is cache-agnostic and unwraps one layer only
+    where tier-transfer sizing needs the raw backend's units.
+    Everything the unified verbs do not cover delegates to the backend
+    (explicitly for the :class:`MemoryBackend` surface, via
+    ``__getattr__`` for backend-specific extras like
+    ``probe_prefix_tokens``, ``manager`` or ``committed_bytes``), so
+    every existing ``engine.memory.*`` consumer keeps working.
+    """
+
+    def __init__(
+        self,
+        backend: MemoryBackend,
+        shard: ShardedModel,
+        tier: Optional[CpuKvTier] = None,
+        preemption_mode: str = "recompute",
+    ) -> None:
+        self.backend = backend
+        self.shard = shard
+        self.tier = tier
+        self.preemption_mode = preemption_mode
+        self.layout = backend.layout
+
+    def __getattr__(self, name: str):
+        # Only consulted for names the facade does not define itself:
+        # backend-specific extras (probe_prefix_tokens, manager, inner,
+        # blocks, region, committed_bytes, ...) pass straight through,
+        # and their absence raises AttributeError exactly as before.
+        return getattr(self.backend, name)
+
+    # -- classic MemoryBackend surface: pure delegation ----------------
+    def can_admit(self, request: Request) -> bool:
+        return self.backend.can_admit(request)
+
+    def admit(self, request: Request) -> None:
+        self.backend.admit(request)
+
+    def prepare_iteration(self, batch: Sequence[Request]) -> bool:
+        return self.backend.prepare_iteration(batch)
+
+    def release(self, request: Request) -> None:
+        self.backend.release(request)
+
+    def retire(self, request: Request) -> None:
+        self.backend.retire(request)
+
+    def before_prefill(self, request: Request) -> None:
+        self.backend.before_prefill(request)
+
+    def note_prefill_complete(self, request: Request) -> None:
+        self.backend.note_prefill_complete(request)
+
+    def cache_report(self):
+        return self.backend.cache_report()
+
+    def after_iteration(self, iteration_seconds: float) -> None:
+        self.backend.after_iteration(iteration_seconds)
+
+    def framework_overhead(self, running: Sequence[Request]) -> float:
+        return self.backend.framework_overhead(running)
+
+    def append_overhead(self, new_tokens: int) -> float:
+        return self.backend.append_overhead(new_tokens)
+
+    def decode_fast_path(self, batch: Sequence[Request]):
+        return self.backend.decode_fast_path(batch)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        sample = dict(self.backend.telemetry_sample())
+        if self.tier is not None:
+            sample.update(self.tier.telemetry_sample())
+        return sample
+
+    # -- unified verbs -------------------------------------------------
+    def allocate_request(self, request: Request) -> Optional[TierTransfer]:
+        """Admit ``request``; demand-page its KV back from the CPU tier
+        if a previous eviction moved it there."""
+        self.backend.admit(request)
+        if request.swapped and self.tier is not None:
+            nbytes = self.tier.resident_bytes(request.request_id)
+            seconds = self.tier.swap_in(request.request_id)
+            request.swapped = False
+            return TierTransfer("in", nbytes, seconds, self.preemption_mode)
+        return None
+
+    def allocate_tokens(self, batch: Sequence[Request]) -> bool:
+        return self.backend.prepare_iteration(batch)
+
+    def cache_finished_request(self, request: Request) -> None:
+        self.backend.retire(request)
+        if self.tier is not None:
+            # A finished request cannot still be tier-resident (restore
+            # precedes re-admission), but keep the tier's view closed.
+            self.tier.drop(request.request_id)
+
+    def evict(self, victim: Request) -> TierTransfer:
+        """Apply the configured eviction policy to a preemption victim.
+
+        The victim's GPU memory is already released; this decides where
+        its KV *contents* go. Tiering is preferred whenever the policy
+        allows it, the victim's prefill is done (a half-built prompt is
+        cheaper to recompute than to round-trip), and the host tier has
+        capacity — the capacity probe's rejection counter is part of
+        the accounting contract with the legacy path.
+        """
+        if self.tier is not None and victim.prefill_done:
+            nbytes = (
+                self._tier_bytes(victim)
+                if self.preemption_mode == "tiered"
+                else victim.context_len * self.shard.kv_bytes_per_token
+            )
+            if self.tier.can_swap_out(nbytes):
+                victim.preempt_swap()
+                seconds = self.tier.swap_out(victim.request_id, nbytes)
+                return TierTransfer(
+                    "out", nbytes, seconds, self.preemption_mode
+                )
+        victim.preempt()
+        return _NO_TRANSFER_OUT
+
+    def tier_transfer(
+        self, request_id: str, direction: str, nbytes: int = 0
+    ) -> TierTransfer:
+        """Move ``request_id``'s KV across the GPU↔CPU boundary.
+
+        The primitive behind :meth:`evict` and
+        :meth:`allocate_request`, exposed for callers managing their
+        own placement (cluster drain, replay tooling).
+        """
+        if self.tier is None:
+            raise ValueError("no CPU tier configured")
+        if direction == "out":
+            seconds = self.tier.swap_out(request_id, nbytes)
+        elif direction == "in":
+            nbytes = self.tier.resident_bytes(request_id)
+            seconds = self.tier.swap_in(request_id)
+        else:
+            raise ValueError(f"unknown transfer direction {direction!r}")
+        return TierTransfer(direction, nbytes, seconds, self.preemption_mode)
+
+    # ------------------------------------------------------------------
+    def _tier_bytes(self, victim: Request) -> int:
+        """Bytes the backend physically held for ``victim``'s context.
+
+        Computed from layout math, not live allocations — the victim's
+        GPU memory is already released when eviction policy runs.
+        """
+        backend = getattr(self.backend, "inner", self.backend)
+        if isinstance(backend, VAttentionMemory):
+            manager = backend.manager
+            rows = manager.rows_for_context(victim.context_len)
+            return rows * manager.config.row_bytes
+        if isinstance(backend, PagedMemory):
+            blocks = backend.blocks
+            return blocks.blocks_needed(victim.context_len) * blocks.block_bytes
+        return victim.context_len * self.shard.kv_bytes_per_token

@@ -570,6 +570,24 @@ class EngineTelemetry:
         if self.registry.record_spans:
             self._open_preempts[victim.request_id] = engine.clock.now
 
+    def on_tier_transfer(self, engine, request, transfer) -> None:
+        """KV moved across the GPU↔CPU tier boundary (facade verbs).
+
+        ``transfer`` is the :class:`~repro.memory.manager.TierTransfer`
+        the facade returned; the engine has already charged its seconds
+        to the clock, so the event lands at the transfer's end time
+        (stream-clock monotonicity holds). The trace checker matches
+        "out"/"in" pairs per request for KV conservation across tiers.
+        """
+        self.registry.emit(
+            engine.clock.now, "tier_transfer",
+            scope=self.scope, request=request.request_id,
+            direction=transfer.direction,
+            nbytes=transfer.nbytes,
+            seconds=transfer.seconds,
+            mode=transfer.mode,
+        )
+
     def on_finish(self, engine, request) -> None:
         """A request completed (emitted before any retire hook runs)."""
         finish = request.finish_time

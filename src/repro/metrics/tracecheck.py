@@ -16,6 +16,10 @@ properties the simulator is supposed to guarantee by construction:
 * **KV conservation across migration and drain re-routing** — every
   transfer that enters the migration link lands exactly once, with the
   same byte count, at exactly the transfer's computed arrival time.
+* **KV conservation across tier transfers** — a request swapped out
+  to the CPU KV tier is restored exactly once, with the same byte
+  count, before it can be swapped out again; no request's KV is left
+  stranded on the host tier at end of trace.
 * **SERVING-only routing** — no ``request_routed`` event targets a
   replica whose replayed lifecycle state is not ``serving``, and
   replica lifecycles only take legal transitions
@@ -117,6 +121,8 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
     serving: Dict[str, int] = {}
     # (cluster, transfer) -> the unmatched migration_start record.
     transfers: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    # (scope, request) -> the unmatched tier_transfer "out" record.
+    tiered: Dict[Tuple[str, str], Dict[str, Any]] = {}
     # scope -> request ids currently in the waiting queue.
     queued: Dict[str, Set[str]] = {}
     # (scope, request_id) -> replayed resident KV tokens while running.
@@ -310,6 +316,29 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
                      f"transfer {key[1]} landed at {record['time']} but "
                      f"the link computed arrival {start['done']}")
 
+        elif event == "tier_transfer":
+            key = (record["scope"], record["request"])
+            if record["direction"] == "out":
+                if key in tiered:
+                    flag("tier-conservation", seq,
+                         f"request {key[1]} swapped out to the CPU tier "
+                         f"twice without an intervening restore")
+                tiered[key] = record
+            elif record["direction"] == "in":
+                out = tiered.pop(key, None)
+                if out is None:
+                    flag("tier-conservation", seq,
+                         f"request {key[1]} restored from the CPU tier "
+                         f"without a prior swap-out")
+                elif record["nbytes"] != out["nbytes"]:
+                    flag("tier-conservation", seq,
+                         f"request {key[1]} restored {record['nbytes']} "
+                         f"bytes but swapped out {out['nbytes']}")
+            else:
+                flag("tier-conservation", seq,
+                     f"request {key[1]} tier transfer has unknown "
+                     f"direction {record['direction']!r}")
+
         elif event == "sample":
             _check_sample(record, running, serving, queued, resident,
                           has_queue_events, has_spans, flag)
@@ -318,6 +347,11 @@ def check_trace(records: Iterable[Dict[str, Any]]) -> List[TraceViolation]:
         flag("kv-conservation", start["seq"],
              f"transfer {transfer} on {cluster} never landed "
              f"({start['bytes']} bytes in flight at end of trace)")
+
+    for (scope, request), out in sorted(tiered.items()):
+        flag("tier-conservation", out["seq"],
+             f"request {request} on {scope} never restored from the "
+             f"CPU tier ({out['nbytes']} bytes stranded at end of trace)")
 
     _check_spans(spans, flag)
 

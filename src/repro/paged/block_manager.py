@@ -65,6 +65,10 @@ class BlockManager:
             )
         self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
         self._allocations: Dict[str, BlockAllocation] = {}
+        #: Total reference count of each *shared* block (absent = 1,
+        #: the sole owner). Prefix sharing bumps these; a block returns
+        #: to the free pool only when its last reference drops.
+        self._refcounts: Dict[int, int] = {}
         self.peak_blocks_used = 0
 
     # ------------------------------------------------------------------
@@ -132,8 +136,90 @@ class BlockManager:
         allocation = self._allocations.pop(request_id, None)
         if allocation is None:
             raise SchedulingError(f"request {request_id!r} is not allocated")
-        self._free.extend(allocation.block_ids)
+        if not self._refcounts:
+            # No sharing anywhere: bulk-return in list order, exactly
+            # the historical free-list behaviour (determinism of the
+            # pre-sharing catalogue runs rests on this order).
+            self._free.extend(allocation.block_ids)
+        else:
+            self._release_blocks(allocation.block_ids)
         return allocation.num_blocks
+
+    # ------------------------------------------------------------------
+    # Prefix sharing (vLLM-style full-block copy-on-extend sharing)
+    # ------------------------------------------------------------------
+    def _release_blocks(self, block_ids: List[int]) -> None:
+        """Drop one reference per block; free the unreferenced ones."""
+        for block_id in block_ids:
+            count = self._refcounts.get(block_id)
+            if count is None:
+                self._free.append(block_id)
+            elif count <= 2:
+                # The other reference becomes a sole owner again.
+                del self._refcounts[block_id]
+            else:
+                self._refcounts[block_id] = count - 1
+
+    def share_blocks(
+        self, src_id: str, dst_id: str, n_blocks: int
+    ) -> int:
+        """Alias ``src_id``'s first ``n_blocks`` into ``dst_id``.
+
+        ``dst_id``'s displaced leading blocks are released; the shared
+        blocks' reference counts grow by one. Only *full* blocks may be
+        shared (the caller floors the matched prefix), so the partial
+        tail each request writes stays private. Returns the bytes of
+        KV de-duplicated by this call.
+        """
+        src = self._get(src_id)
+        dst = self._get(dst_id)
+        if n_blocks <= 0:
+            return 0
+        if n_blocks > src.num_blocks or n_blocks > dst.num_blocks:
+            raise SchedulingError(
+                f"cannot share {n_blocks} blocks: {src_id!r} holds "
+                f"{src.num_blocks}, {dst_id!r} holds {dst.num_blocks}"
+            )
+        shared = src.block_ids[:n_blocks]
+        for block_id in shared:
+            self._refcounts[block_id] = self._refcounts.get(block_id, 1) + 1
+        displaced = dst.block_ids[:n_blocks]
+        dst.block_ids[:n_blocks] = shared
+        self._release_blocks(displaced)
+        return n_blocks * self.block_bytes
+
+    def transfer(
+        self, request_id: str, new_id: str, keep_tokens: int
+    ) -> BlockAllocation:
+        """Re-key an allocation (e.g. to a cache-owned id), trimming it
+        to the blocks covering ``keep_tokens`` and releasing the rest.
+
+        ``keep_tokens`` must be a full-block multiple (the prefix cache
+        only retains shareable, fully-written blocks).
+        """
+        if new_id in self._allocations:
+            raise SchedulingError(f"request {new_id!r} already allocated")
+        if keep_tokens % self.block_size:
+            raise SchedulingError(
+                f"can only retain whole blocks, got {keep_tokens} tokens "
+                f"(block size {self.block_size})"
+            )
+        allocation = self._allocations.pop(request_id, None)
+        if allocation is None:
+            raise SchedulingError(f"request {request_id!r} is not allocated")
+        keep = self.blocks_needed(keep_tokens)
+        self._release_blocks(allocation.block_ids[keep:])
+        del allocation.block_ids[keep:]
+        allocation.request_id = new_id
+        allocation.context_len = keep_tokens
+        self._allocations[new_id] = allocation
+        return allocation
+
+    @property
+    def dedup_saved_bytes(self) -> int:
+        """Bytes that sharing is currently saving versus private copies."""
+        extra_refs = sum(count - 1 for count in self._refcounts.values())
+        return extra_refs * self.block_bytes
 
     def allocation(self, request_id: str) -> BlockAllocation:
         """The live allocation of ``request_id``."""

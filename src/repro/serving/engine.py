@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Deque, List, Optional, Sequence
 
 from ..core.config import VAttentionConfig
 from ..errors import AllocationFailed, ConfigError
@@ -53,6 +53,9 @@ from ..scheduling import (
     make_scheduler_policy,
     validate_scheduler_policy,
 )
+from ..memory.config import MemoryConfig
+from ..memory.manager import MemoryManager
+from ..memory.tier import CpuKvTier
 from ..sim.fastforward import DecodeFastForwarder
 from ..units import GB, MB, us
 from .memory import (
@@ -63,7 +66,6 @@ from .memory import (
     VAttentionMemory,
 )
 from .request import Request, RequestState
-from .swap import HostSwapSpace
 
 #: Python/scheduler/sampler CPU cost per iteration (vLLM's Python loop).
 ITERATION_CPU_OVERHEAD = 2e-3
@@ -86,6 +88,23 @@ def _default_fast_forward() -> bool:
     return DEFAULT_FAST_FORWARD
 
 
+#: Sentinel distinguishing "caller did not pass this deprecated memory
+#: alias" from any real value, so ``__post_init__`` can tell which
+#: spelling to honour. A passed alias always wins over the nested
+#: ``memory`` object — that keeps ``dataclasses.replace(config,
+#: preemption_mode=...)`` working on configs normalized earlier.
+_UNSET: Any = object()
+
+#: The flat ``EngineConfig`` fields mirrored by ``MemoryConfig``.
+_MEMORY_ALIASES = (
+    "preemption_mode",
+    "swap_host_bytes",
+    "enable_prefix_cache",
+    "prefix_cache_slots",
+    "prefix_cache_budget_bytes",
+)
+
+
 @dataclass
 class EngineConfig:
     """Configuration of one serving-engine instance.
@@ -95,6 +114,14 @@ class EngineConfig:
     layout and backend layout is validated at construction — e.g.
     running a non-paged decode kernel on a PagedAttention pool is
     impossible, which is the paper's portability argument in code.
+
+    Memory-subsystem knobs live in the nested
+    :class:`~repro.memory.MemoryConfig` (``memory=``); the historical
+    flat kwargs (``preemption_mode``, ``swap_host_bytes``,
+    ``enable_prefix_cache``, ``prefix_cache_slots``,
+    ``prefix_cache_budget_bytes``) remain as deprecated aliases. After
+    construction both views are normalized and consistent — either
+    spelling constructs an identical config.
     """
 
     shard: ShardedModel
@@ -117,10 +144,12 @@ class EngineConfig:
     #: weights + workspace). Capacity experiments use this to match a
     #: deployment's effective serving budget.
     kv_budget_bytes: Optional[int] = None
-    #: What to do with preemption victims: "recompute" (vLLM default,
-    #: the paper's behaviour) or "swap" (the S5.3.3 future-work policy:
-    #: KV cache moves to host memory and back over PCIe).
-    preemption_mode: str = "recompute"
+    #: Deprecated alias of ``memory.preemption_mode``: "recompute"
+    #: (vLLM default, the paper's behaviour), "swap" (the S5.3.3
+    #: future-work policy: KV cache moves to host memory and back over
+    #: PCIe) or "tiered" (backend-granular GPU→CPU tiering through the
+    #: MemoryManager facade).
+    preemption_mode: str = _UNSET
     #: Sarathi-style chunked prefill (paper ref [36]): process prompts
     #: in chunks of this many tokens, piggybacked onto decode
     #: iterations so ongoing decodes never stall behind a long prompt.
@@ -139,19 +168,23 @@ class EngineConfig:
     #: "sla" policy: TTFT budget assumed for requests without their own
     #: (None = such requests have no deadline).
     sla_ttft_budget: Optional[float] = None
-    #: Pinned host memory available for swapped KV caches (swap mode).
-    swap_host_bytes: int = 64 * GB
-    #: Automatic KV prefix reuse via the radix-tree cache (S8.1 turned
-    #: into a subsystem). vAttention backend only: aliasing physical
-    #: page-groups at multiple virtual offsets is what CUDA VMM enables
-    #: and user-space block pools / UVM / static slots cannot do.
-    enable_prefix_cache: bool = False
-    #: Extra vAttention request slots reserved to hold cached prefixes,
-    #: so a full cache never starves the running batch of reqIds.
-    prefix_cache_slots: int = 8
-    #: Cap on physical bytes retained by cache-owned prefixes
-    #: (None = bounded only by slots and memory-pressure eviction).
-    prefix_cache_budget_bytes: Optional[int] = None
+    #: Deprecated alias of ``memory.swap_host_bytes``.
+    swap_host_bytes: int = _UNSET
+    #: Deprecated alias of ``memory.enable_prefix_cache``: automatic KV
+    #: prefix reuse via the radix-tree cache (S8.1 turned into a
+    #: subsystem). Supported on the vattention backend (physical
+    #: page-group aliasing through CUDA VMM) and the paged backend
+    #: (full-block sharing under per-block refcounts); UVM / static
+    #: slots cannot share KV.
+    enable_prefix_cache: bool = _UNSET
+    #: Deprecated alias of ``memory.prefix_cache_slots``.
+    prefix_cache_slots: int = _UNSET
+    #: Deprecated alias of ``memory.prefix_cache_budget_bytes``.
+    prefix_cache_budget_bytes: Optional[int] = _UNSET
+    #: Consolidated memory-subsystem configuration; ``None`` means
+    #: "build from the flat aliases / their defaults". Normalized to a
+    #: concrete :class:`~repro.memory.MemoryConfig` at construction.
+    memory: Optional[MemoryConfig] = None
     iteration_cpu_overhead: float = ITERATION_CPU_OVERHEAD
     per_seq_cpu_overhead: float = PER_SEQ_CPU_OVERHEAD
     #: Decode fast-forwarding (:mod:`repro.sim.fastforward`): execute
@@ -169,10 +202,22 @@ class EngineConfig:
             raise ConfigError(
                 f"unknown memory backend {self.memory_backend!r}"
             )
-        if self.preemption_mode not in ("recompute", "swap"):
-            raise ConfigError(
-                f"unknown preemption mode {self.preemption_mode!r}"
-            )
+        # Normalize the two memory spellings into one consistent pair:
+        # a concrete nested MemoryConfig *and* concrete flat aliases. A
+        # flat alias the caller actually passed overrides the nested
+        # value (see _UNSET); untouched aliases inherit from ``memory``
+        # (or the MemoryConfig defaults when it was omitted).
+        base = self.memory if self.memory is not None else MemoryConfig()
+        overrides = {}
+        for name in _MEMORY_ALIASES:
+            value = getattr(self, name)
+            if value is _UNSET:
+                setattr(self, name, getattr(base, name))
+            else:
+                overrides[name] = value
+        # replace() re-runs MemoryConfig validation over the merged
+        # values (preemption mode, tier sizing, cache knobs).
+        self.memory = replace(base, **overrides)
         if self.prefill_chunk_size is not None and self.prefill_chunk_size <= 0:
             raise ConfigError("prefill_chunk_size must be positive")
         if self.max_batch_size <= 0:
@@ -181,22 +226,14 @@ class EngineConfig:
         if self.sched_token_budget <= 0:
             raise ConfigError("sched_token_budget must be positive")
         if self.enable_prefix_cache:
-            if self.memory_backend != "vattention":
+            if self.memory_backend not in ("vattention", "paged"):
                 raise ConfigError(
                     f"prefix cache unsupported on the "
                     f"{self.memory_backend!r} backend: KV de-duplication "
-                    f"needs physical page aliasing, which only the "
-                    f"vattention backend's CUDA-VMM route provides (S8.1)"
-                )
-            if self.prefix_cache_slots <= 0:
-                raise ConfigError("prefix_cache_slots must be positive")
-            if (
-                self.prefix_cache_budget_bytes is not None
-                and self.prefix_cache_budget_bytes < 0
-            ):
-                raise ConfigError(
-                    "prefix_cache_budget_bytes cannot be negative "
-                    "(0 retains nothing, None leaves retention unbounded)"
+                    f"needs physical page aliasing (the vattention "
+                    f"backend's CUDA-VMM route, S8.1) or a user-space "
+                    f"block pool to share full blocks in (paged); UVM "
+                    f"and static slots provide neither"
                 )
 
 
@@ -231,12 +268,16 @@ class LLMEngine:
             config.decode_kernel, config.gpu
         )
         self._validate_kernel_layout()
-        self.memory: MemoryBackend = self._build_memory()
-        self.swap_space: Optional[HostSwapSpace] = (
-            HostSwapSpace(capacity=config.swap_host_bytes)
-            if config.preemption_mode == "swap"
+        # The CPU KV tier is built before the memory stack so the
+        # facade can own it; the legacy ``engine.swap_space`` attribute
+        # stays pointed at the same instance (identical accounting for
+        # telemetry and experiments reading it directly).
+        self.swap_space: Optional[CpuKvTier] = (
+            CpuKvTier(capacity=config.swap_host_bytes)
+            if config.preemption_mode in ("swap", "tiered")
             else None
         )
+        self.memory: MemoryBackend = self._build_memory()
 
         self.scheduler: SchedulerPolicy = make_scheduler_policy(
             config.scheduler_policy,
@@ -287,6 +328,22 @@ class LLMEngine:
 
     # ------------------------------------------------------------------
     def _build_memory(self) -> MemoryBackend:
+        """Assemble the memory stack: backend, cache wrapper, facade."""
+        config = self.config
+        backend = self._build_backend()
+        if not config.memory.facade:
+            # Legacy wiring (PR-9 behaviour, byte-identical by the
+            # facade equivalence sweep): the engine talks to the raw
+            # backend and handles swap inline.
+            return backend
+        return MemoryManager(
+            backend,
+            shard=config.shard,
+            tier=self.swap_space,
+            preemption_mode=config.preemption_mode,
+        )
+
+    def _build_backend(self) -> MemoryBackend:
         config = self.config
         if config.memory_backend == "vattention":
             cache_slots = (
@@ -311,11 +368,18 @@ class LLMEngine:
                 inner, budget_bytes=config.prefix_cache_budget_bytes
             )
         if config.memory_backend == "paged":
-            return PagedMemory(
+            inner = PagedMemory(
                 self.device,
                 config.shard,
                 block_size=config.block_size,
                 library=self.decode_kernel.info.library,
+            )
+            if not config.enable_prefix_cache:
+                return inner
+            from ..cache.manager import PrefixCacheManager
+
+            return PrefixCacheManager(
+                inner, budget_bytes=config.prefix_cache_budget_bytes
             )
         if config.memory_backend == "uvm":
             return UvmMemory(
@@ -665,10 +729,18 @@ class LLMEngine:
             # below are the request's admission span.
             picked = self.clock.now
             self._remove_waiting(request)
-            self.memory.admit(request)
-            if request.swapped:
-                # Restore the KV cache from host memory before the
-                # request re-joins the batch (PCIe transfer).
+            restore = self.memory.allocate_request(request)
+            if restore is not None:
+                # The facade demand-paged the KV back from the CPU
+                # tier; charge the PCIe transfer to the clock.
+                if restore.seconds:
+                    self.clock.advance(restore.seconds)
+                if restore.nbytes and self.telemetry is not None:
+                    self.telemetry.on_tier_transfer(self, request, restore)
+            elif request.swapped:
+                # Legacy inline restore (facade off): the KV cache
+                # returns from host memory before the request re-joins
+                # the batch (PCIe transfer).
                 assert self.swap_space is not None
                 self.clock.advance(
                     self.swap_space.swap_in(request.request_id)
@@ -897,7 +969,7 @@ class LLMEngine:
         """
         while True:
             batch = participants()
-            if self.memory.prepare_iteration(batch):
+            if self.memory.allocate_tokens(batch):
                 return
             if len(self._running) <= 1:
                 raise AllocationFailed(
@@ -920,18 +992,28 @@ class LLMEngine:
         """Apply the configured preemption policy to ``victim``."""
         self._prep_version += 1
         held = self._contribution(victim)
-        nbytes = victim.context_len * self.config.shard.kv_bytes_per_token
-        if (
-            self.swap_space is not None
-            and victim.prefill_done
-            and self.swap_space.can_swap_out(nbytes)
-        ):
-            victim.preempt_swap()
-            self.clock.advance(
-                self.swap_space.swap_out(victim.request_id, nbytes)
-            )
+        outcome = self.memory.evict(victim)
+        if outcome is not None:
+            # The facade applied its policy (tier or recompute); charge
+            # any device->host transfer to the clock.
+            if outcome.seconds:
+                self.clock.advance(outcome.seconds)
+            if outcome.nbytes and self.telemetry is not None:
+                self.telemetry.on_tier_transfer(self, victim, outcome)
         else:
-            victim.preempt()
+            # Legacy inline policy (raw backend, facade off).
+            nbytes = victim.context_len * self.config.shard.kv_bytes_per_token
+            if (
+                self.swap_space is not None
+                and victim.prefill_done
+                and self.swap_space.can_swap_out(nbytes)
+            ):
+                victim.preempt_swap()
+                self.clock.advance(
+                    self.swap_space.swap_out(victim.request_id, nbytes)
+                )
+            else:
+                victim.preempt()
         self._outstanding += self._contribution(victim) - held
 
     def _retire_finished(self) -> None:
@@ -953,7 +1035,7 @@ class LLMEngine:
             ):
                 # Context-cap finishes leave unserved budget behind.
                 self._outstanding -= self._contribution(request)
-                self.memory.retire(request)
+                self.memory.cache_finished_request(request)
                 request.finish(self.clock.now)
                 if self.telemetry is not None:
                     self.telemetry.on_finish(self, request)

@@ -129,6 +129,47 @@ class MemoryBackend(abc.ABC):
         """
         return None
 
+    # -- unified MemoryManager verbs (sglang mem_cache_v2 style) -------
+    #
+    # The engine speaks these four verbs; raw backends map them onto
+    # the classic admit/prepare/retire/release surface and return
+    # ``None`` for the tier-transfer outcomes, which tells the engine
+    # to apply its own (legacy) swap/recompute handling inline. The
+    # :class:`~repro.memory.manager.MemoryManager` facade overrides
+    # them to add prefix caching and hierarchical GPU->CPU tiering.
+
+    def allocate_request(self, request: Request):
+        """Admit ``request`` and reserve its prompt memory.
+
+        Returns a :class:`~repro.memory.manager.TierTransfer` describing
+        the host->device restore of a previously evicted KV cache, or
+        ``None`` when there is nothing to restore (or no tier — the
+        engine then handles any legacy swap-in itself).
+        """
+        self.admit(request)
+        return None
+
+    def allocate_tokens(self, batch: Sequence[Request]) -> bool:
+        """Ensure memory for the tokens ``batch`` will produce this
+        iteration; False => a preemption is needed."""
+        return self.prepare_iteration(batch)
+
+    def cache_finished_request(self, request: Request) -> None:
+        """Retire a finished request, retaining its KV where a cache
+        exists (defaults to :meth:`retire`)."""
+        self.retire(request)
+
+    def evict(self, victim: Request):
+        """Apply this backend's eviction policy to a preemption victim
+        whose GPU memory has already been released.
+
+        Returns a :class:`~repro.memory.manager.TierTransfer` describing
+        the device->host transfer (zero bytes for recompute), or
+        ``None`` when the backend has no policy of its own and the
+        engine should fall back to its inline legacy handling.
+        """
+        return None
+
 
 # ----------------------------------------------------------------------
 class _VattentionDecodePlan(DecodeFastPath):

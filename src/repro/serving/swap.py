@@ -1,123 +1,62 @@
-"""KV-cache swapping to host memory (paper S5.3.3's future work).
+"""Deprecated home of KV swapping — now :mod:`repro.memory.tier`.
 
-When ``step`` cannot back every request, the paper's framework preempts
-and later *recomputes* the victim's prefill (vLLM's default). The paper
-leaves "more sophisticated policies such as swapping out KV cache to CPU
-memory as future work"; this module implements that policy so the engine
-can compare both (``EngineConfig.preemption_mode``):
+The host-memory swap space grew into the CPU tier of the hierarchical
+KV cache (:class:`repro.memory.CpuKvTier`), managed through the
+:class:`repro.memory.MemoryManager` facade. This module remains as a
+compatibility shim:
 
-* **recompute** — drop the KV cache; on re-admission the prompt (plus
-  any generated tokens) is prefilled again. Costs GPU compute, no host
-  memory.
-* **swap** — copy the victim's KV cache over PCIe to pinned host
-  memory; on re-admission copy it back and continue decoding. Costs two
-  PCIe transfers and host capacity, no recompute.
-
-The crossover is workload-dependent: long contexts make recompute
-expensive (quadratic prefill) while swap cost stays linear in bytes —
-exactly the trade-off the ablation bench measures.
+* :class:`HostSwapSpace` — the historical class name; a thin alias of
+  :class:`~repro.memory.tier.CpuKvTier` with identical accounting.
+  Prefer ``repro.memory.CpuKvTier`` in new code.
+* :class:`SwapManager` — the old facade-less entry point; emits a
+  :class:`DeprecationWarning` on construction and forwards everything
+  to the tier API.
+* ``SwapStats`` / ``PCIE_BANDWIDTH`` / ``DEFAULT_HOST_CAPACITY`` —
+  re-exported from the tier module unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import warnings
 
-from ..errors import ConfigError, SchedulingError
-from ..units import GB, fmt_bytes
+from ..memory.tier import (  # noqa: F401  (re-exported compatibility surface)
+    DEFAULT_HOST_CAPACITY,
+    PCIE_BANDWIDTH,
+    CpuKvTier,
+    SwapStats,
+)
 
-#: Effective host<->device bandwidth of one PCIe 4.0 x16 link.
-PCIE_BANDWIDTH = 25e9  # bytes/second
-
-#: Default pinned-host-memory pool for swapped KV caches.
-DEFAULT_HOST_CAPACITY = 64 * GB
-
-
-@dataclass
-class SwapStats:
-    """Lifetime counters of the swap space."""
-
-    swap_outs: int = 0
-    swap_ins: int = 0
-    bytes_out: int = 0
-    bytes_in: int = 0
-    seconds_out: float = 0.0
-    seconds_in: float = 0.0
-    rejected_for_capacity: int = 0
+__all__ = [
+    "DEFAULT_HOST_CAPACITY",
+    "PCIE_BANDWIDTH",
+    "HostSwapSpace",
+    "SwapManager",
+    "SwapStats",
+]
 
 
-class HostSwapSpace:
-    """Pinned host memory holding swapped-out KV caches.
+class HostSwapSpace(CpuKvTier):
+    """Deprecated alias of :class:`repro.memory.CpuKvTier`.
 
-    Transfers are modeled by PCIe bandwidth; the serving engine charges
-    the returned seconds to the simulated clock (swaps are synchronous
-    with respect to the victim, like vLLM's swap implementation).
+    Kept importable (and warning-free) because existing experiments and
+    tests construct it directly; the engine now builds the tier itself.
     """
 
-    def __init__(
-        self,
-        capacity: int = DEFAULT_HOST_CAPACITY,
-        bandwidth: float = PCIE_BANDWIDTH,
-    ) -> None:
-        if capacity <= 0:
-            raise ConfigError(f"capacity must be positive, got {capacity}")
-        if bandwidth <= 0:
-            raise ConfigError(f"bandwidth must be positive, got {bandwidth}")
-        self.capacity = capacity
-        self.bandwidth = bandwidth
-        self._resident: Dict[str, int] = {}
-        self.stats = SwapStats()
 
-    @property
-    def used(self) -> int:
-        """Host bytes currently holding swapped caches."""
-        return sum(self._resident.values())
+class SwapManager(CpuKvTier):
+    """Deprecated pre-facade entry point to KV swapping.
 
-    @property
-    def available(self) -> int:
-        """Host bytes free for further swap-outs."""
-        return self.capacity - self.used
+    Forwards the entire tier API (``can_swap_out`` / ``swap_out`` /
+    ``swap_in`` / ``drop`` and the ``stats`` accounting) unchanged;
+    construction warns so callers migrate to
+    :class:`repro.memory.MemoryManager` / :class:`repro.memory.CpuKvTier`.
+    """
 
-    def holds(self, request_id: str) -> bool:
-        """Whether ``request_id``'s cache is swapped out here."""
-        return request_id in self._resident
-
-    def can_swap_out(self, nbytes: int) -> bool:
-        """Whether ``nbytes`` fit in the remaining host capacity."""
-        if nbytes <= self.available:
-            return True
-        self.stats.rejected_for_capacity += 1
-        return False
-
-    def swap_out(self, request_id: str, nbytes: int) -> float:
-        """Store a cache; returns the device->host transfer seconds."""
-        if request_id in self._resident:
-            raise SchedulingError(f"{request_id} is already swapped out")
-        if nbytes <= 0:
-            raise SchedulingError(f"cannot swap {nbytes} bytes")
-        if nbytes > self.available:
-            raise SchedulingError(
-                f"host swap space full: need {fmt_bytes(nbytes)}, "
-                f"have {fmt_bytes(self.available)}"
-            )
-        self._resident[request_id] = nbytes
-        seconds = nbytes / self.bandwidth
-        self.stats.swap_outs += 1
-        self.stats.bytes_out += nbytes
-        self.stats.seconds_out += seconds
-        return seconds
-
-    def swap_in(self, request_id: str) -> float:
-        """Restore a cache; returns the host->device transfer seconds."""
-        nbytes = self._resident.pop(request_id, None)
-        if nbytes is None:
-            raise SchedulingError(f"{request_id} is not swapped out")
-        seconds = nbytes / self.bandwidth
-        self.stats.swap_ins += 1
-        self.stats.bytes_in += nbytes
-        self.stats.seconds_in += seconds
-        return seconds
-
-    def drop(self, request_id: str) -> None:
-        """Discard a swapped cache without restoring it (request done)."""
-        self._resident.pop(request_id, None)
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "SwapManager is deprecated; use repro.memory.CpuKvTier via "
+            "the MemoryManager facade instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -70,6 +70,39 @@ class TestPaperMapFreshness:
             assert f"`{experiment.module}`" in content, experiment.module
 
 
+class TestApiSurface:
+    def test_snapshot_is_current(self):
+        # Same invocation as CI: the committed snapshot matches the
+        # live exports. Deliberate API changes are blessed with
+        # `python scripts/check_api.py --update`.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, "scripts/check_api.py"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_detects_drift(self, tmp_path):
+        spec = importlib.util.spec_from_file_location(
+            "check_api", REPO / "scripts" / "check_api.py"
+        )
+        check_api = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check_api)
+        surface = check_api.capture()
+        surface["modules"]["repro.memory"] = ["NotARealExport"]
+        doctored = tmp_path / "api_surface.json"
+        doctored.write_text(__import__("json").dumps(surface))
+        check_api.SNAPSHOT = doctored
+        assert check_api.main([]) == 1
+
+
 class TestLinkCheck:
     def test_repo_docs_have_no_broken_links(self, capsys):
         check_links = load_check_links()

@@ -37,8 +37,10 @@ def serve(engine: LLMEngine, trace):
 
 
 class TestConfig:
-    def test_requires_vattention_backend(self):
-        for backend in ("paged", "static", "uvm"):
+    def test_requires_sharing_capable_backend(self):
+        # vattention (page aliasing) and paged (block pool) can share
+        # KV; uvm and static slots cannot.
+        for backend in ("static", "uvm"):
             with pytest.raises(ConfigError, match="unsupported"):
                 EngineConfig(
                     shard=ShardedModel(YI_6B, 1),
@@ -46,6 +48,13 @@ class TestConfig:
                     memory_backend=backend,
                     enable_prefix_cache=True,
                 )
+        for backend in ("vattention", "paged"):
+            EngineConfig(
+                shard=ShardedModel(YI_6B, 1),
+                gpu=A100,
+                memory_backend=backend,
+                enable_prefix_cache=True,
+            )
 
     def test_cache_slots_must_be_positive(self):
         with pytest.raises(ConfigError):
@@ -62,10 +71,15 @@ class TestConfig:
         assert engine.memory.manager is engine.memory.inner.manager
 
     def test_enabled_engine_wraps_memory(self):
-        assert isinstance(build_engine(True).memory, PrefixCacheManager)
+        # The facade's composed backend is the cache wrapper.
+        engine = build_engine(True)
+        backend = getattr(engine.memory, "backend", engine.memory)
+        assert isinstance(backend, PrefixCacheManager)
 
     def test_disabled_engine_unwrapped(self):
-        assert not isinstance(build_engine(False).memory, PrefixCacheManager)
+        engine = build_engine(False)
+        backend = getattr(engine.memory, "backend", engine.memory)
+        assert not isinstance(backend, PrefixCacheManager)
 
 
 class TestPrefixDescriptor:

@@ -27,6 +27,7 @@ from repro.experiments import (
     ext_autoscale,
     ext_chunked_prefill,
     ext_cluster_router,
+    ext_kv_tiering,
     ext_large_models,
     ext_prefix_cache,
     ext_prefix_sharing,
@@ -611,6 +612,8 @@ TRACE_SWEEP = {
     "ext-prefix-cache": lambda: ext_prefix_cache.run(sharing_factors=(4,)),
     "ext-sched-policy": lambda: ext_sched_policy.run(count=40, qps=6.0),
     "ext-swap": lambda: ext_swap_policy.run(prompts=(8_192,)),
+    # Exercises tier_transfer out/in pairing (tier-conservation).
+    "ext-kv-tiering": lambda: ext_kv_tiering.run(prompts=(8_192,)),
     "ext-uvm": lambda: ext_uvm_limitations.run(request_count=60, qps=6.0),
     "ext-chunked": lambda: ext_chunked_prefill.run(),
     "ext-large-models": lambda: ext_large_models.run(),
@@ -638,8 +641,8 @@ TRACE_SWEEP = {
 #: non-trivial (the gate would otherwise pass vacuously).
 ENGINE_DRIVEN = {
     "fig08", "fig09", "fig10", "fig11", "fig12", "fig15",
-    "ext-prefix-cache", "ext-sched-policy", "ext-swap", "ext-uvm",
-    "ext-chunked", "ext-cluster-router", "ext-autoscale",
+    "ext-prefix-cache", "ext-sched-policy", "ext-swap", "ext-kv-tiering",
+    "ext-uvm", "ext-chunked", "ext-cluster-router", "ext-autoscale",
 }
 
 
